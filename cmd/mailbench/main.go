@@ -1,0 +1,65 @@
+// Command mailbench regenerates the paper's evaluation artifacts: the
+// Figure 7 latency table (nine scenarios at 1..5 clients over the
+// deterministic network simulator), the Section 4.2 one-time cost
+// breakdown, and the ablation sweeps indexed in DESIGN.md.
+//
+// Usage:
+//
+//	mailbench                 # Figure 7 table
+//	mailbench -onetime        # one-time cost breakdown (E7)
+//	mailbench -sweep          # coherence policy sweep (A2)
+//	mailbench -scaling        # planner scaling on Waxman topologies (A3)
+//	mailbench -clients 8      # widen the client sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partsvc/internal/bench"
+)
+
+func main() {
+	onetime := flag.Bool("onetime", false, "measure one-time deployment costs (E7)")
+	sweep := flag.Bool("sweep", false, "coherence policy sweep (A2)")
+	scaling := flag.Bool("scaling", false, "planner scaling sweep (A3)")
+	clients := flag.Int("clients", 0, "override the maximum client count")
+	sends := flag.Int("sends", 0, "override sends per client")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *clients > 0 {
+		cfg.MaxClients = *clients
+	}
+	if *sends > 0 {
+		cfg.SendsPerClient = *sends
+	}
+
+	switch {
+	case *onetime:
+		costs, err := bench.MeasureOneTimeCosts()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("One-time costs for the San Diego deployment (paper: ~10 s on 2002 hardware):")
+		fmt.Print(bench.OneTimeTable(costs))
+	case *sweep:
+		fmt.Printf("Coherence policy sweep, %d clients (ablation A2):\n", 2)
+		fmt.Print(bench.BoundSweepTable(bench.CoherenceBoundSweep(cfg, 2)))
+	case *scaling:
+		rows, err := bench.PlannerScaling([]int{8, 12, 16, 20}, 7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Planner scaling on Waxman topologies (ablation A3):")
+		fmt.Print(bench.ScalingTable(rows))
+	default:
+		fmt.Printf("Figure 7: average client-perceived send latency (ms), %d sends/client:\n",
+			cfg.SendsPerClient)
+		fmt.Print(bench.Fig7Table(bench.RunFig7(cfg)))
+		fmt.Println("\nGroups (paper): 1 = {SF,SS0,DF,DS0}  2 = {SS1000,DS1000}  3 = {SS500,DS500}  4 = {SS}")
+	}
+}

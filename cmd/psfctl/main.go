@@ -1,0 +1,210 @@
+// Command psfctl is the partitionable-services control tool: it
+// validates declarative service specifications, enumerates valid
+// component chains (Figure 3), and plans deployments onto a network
+// (Figure 6).
+//
+// Usage:
+//
+//	psfctl spec                       # print the mail spec as XML
+//	psfctl validate [-f spec.xml]     # validate a specification
+//	psfctl chains [-f spec.xml] [-i ClientInterface]
+//	psfctl plan -case-study           # reproduce the Figure 6 plans
+//	psfctl plan -node sd-2 -user Alice [-rate 50] [-objective min-latency]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/planner"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "spec":
+		err = spec.MailService().EncodeXML(os.Stdout)
+		fmt.Println()
+	case "validate":
+		err = runValidate(os.Args[2:])
+	case "chains":
+		err = runChains(os.Args[2:])
+	case "trees":
+		err = runTrees(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psfctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan> [flags]")
+}
+
+// loadSpec reads a spec from -f, defaulting to the built-in mail spec.
+func loadSpec(path string) (*spec.Service, error) {
+	if path == "" {
+		return spec.MailService(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return spec.DecodeXML(f)
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	path := fs.String("f", "", "specification XML file (default: built-in mail spec)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, err := loadSpec(*path)
+	if err != nil {
+		return err
+	}
+	if err := svc.Validate(); err != nil {
+		return fmt.Errorf("specification invalid:\n%w", err)
+	}
+	fmt.Printf("service %q: %d properties, %d interfaces, %d components — OK\n",
+		svc.Name, len(svc.Properties), len(svc.Interfaces), len(svc.Components))
+	return nil
+}
+
+func runChains(args []string) error {
+	fs := flag.NewFlagSet("chains", flag.ExitOnError)
+	path := fs.String("f", "", "specification XML file (default: built-in mail spec)")
+	iface := fs.String("i", spec.IfaceClient, "requested interface")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, err := loadSpec(*path)
+	if err != nil {
+		return err
+	}
+	if err := svc.Validate(); err != nil {
+		return err
+	}
+	pl := planner.New(svc, topology.CaseStudy())
+	chains := pl.EnumerateChains(*iface)
+	fmt.Printf("valid component chains for %s (%d):\n", *iface, len(chains))
+	for _, c := range chains {
+		fmt.Println("  " + strings.Join(c.Names(), " -> "))
+	}
+	return nil
+}
+
+// runTrees enumerates linkage trees (the general component-graph form).
+func runTrees(args []string) error {
+	fs := flag.NewFlagSet("trees", flag.ExitOnError)
+	path := fs.String("f", "", "specification XML file (default: built-in mail spec)")
+	iface := fs.String("i", spec.IfaceClient, "requested interface")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, err := loadSpec(*path)
+	if err != nil {
+		return err
+	}
+	if err := svc.Validate(); err != nil {
+		return err
+	}
+	pl := planner.New(svc, topology.CaseStudy())
+	trees := pl.EnumerateTrees(*iface)
+	fmt.Printf("valid component trees for %s (%d):\n", *iface, len(trees))
+	for _, tr := range trees {
+		fmt.Println("  " + tr.Names())
+	}
+	return nil
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	caseStudy := fs.Bool("case-study", false, "run the three Figure 6 requests in sequence")
+	node := fs.String("node", "sd-2", "client node")
+	user := fs.String("user", "Alice", "requesting user")
+	rate := fs.Float64("rate", 50, "request rate (req/s)")
+	objective := fs.String("objective", "min-latency", "min-latency | min-cost | max-capacity")
+	useDP := fs.Bool("dp", false, "use the dynamic-programming chain planner")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := spec.MailService()
+	net := topology.CaseStudy()
+	pl := planner.New(svc, net)
+	ms, err := pl.PrimaryPlacement(spec.CompMailServer, topology.NYServer)
+	if err != nil {
+		return err
+	}
+	pl.AddExisting(ms)
+
+	var obj planner.Objective
+	switch *objective {
+	case "min-latency":
+		obj = planner.MinLatency
+	case "min-cost":
+		obj = planner.MinCost
+	case "max-capacity":
+		obj = planner.MaxCapacity
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	plan := func(req planner.Request) error {
+		var dep *planner.Deployment
+		var err error
+		if *useDP {
+			dep, err = pl.PlanDP(req)
+		} else {
+			dep, err = pl.Plan(req)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("request: %s from %s as %s (%.0f req/s, %s)\n",
+			req.Interface, req.ClientNode, req.User, req.RateRPS, req.Objective)
+		fmt.Printf("  deployment: %s\n", dep)
+		fmt.Printf("  expected latency %.2f ms, capacity %.0f req/s, %d new component(s)\n",
+			dep.ExpectedLatencyMS, dep.CapacityRPS, dep.NewComponents)
+		st := pl.Stats()
+		fmt.Printf("  search: %d chains, %d mappings (rejected: cond %d, props %d, load %d, path %d)\n",
+			st.ChainsEnumerated, st.MappingsTried,
+			st.RejectedConditions, st.RejectedProps, st.RejectedLoad, st.RejectedNoPath)
+		pl.AddExisting(dep.Placements...)
+		return nil
+	}
+
+	if *caseStudy {
+		for _, req := range []planner.Request{
+			{Interface: spec.IfaceClient, ClientNode: topology.NYClient, User: "Alice", RateRPS: *rate, Objective: obj},
+			{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: *rate, Objective: obj},
+			{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: *rate, Objective: obj},
+		} {
+			if err := plan(req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return plan(planner.Request{
+		Interface: spec.IfaceClient, ClientNode: netmodel.NodeID(*node),
+		User: *user, RateRPS: *rate, Objective: obj,
+	})
+}

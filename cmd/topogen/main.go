@@ -1,0 +1,56 @@
+// Command topogen generates and prints network topologies: the Figure 5
+// case study or BRITE-like synthetic graphs (Waxman, Barabási–Albert).
+//
+// Usage:
+//
+//	topogen -case-study
+//	topogen -model waxman -n 30 -seed 42
+//	topogen -model ba -n 30 -m 2 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/topology"
+)
+
+func main() {
+	caseStudy := flag.Bool("case-study", false, "emit the Figure 5 case-study topology")
+	model := flag.String("model", "waxman", "waxman | ba")
+	n := flag.Int("n", 30, "node count")
+	m := flag.Int("m", 2, "attachment degree (ba)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	var net *netmodel.Network
+	var err error
+	switch {
+	case *caseStudy:
+		net = topology.CaseStudy()
+	case *model == "waxman":
+		net, err = topology.Waxman(topology.DefaultWaxman(*n, *seed))
+	case *model == "ba":
+		net, err = topology.BarabasiAlbert(*n, *m, *seed)
+	default:
+		err = fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# %d nodes, %d links\n", net.NumNodes(), net.NumLinks())
+	for _, node := range net.Nodes() {
+		fmt.Printf("node %-8s site=%-10s props={%s}\n", node.ID, node.Site, node.Props)
+	}
+	for _, l := range net.Links() {
+		sec := "insecure"
+		if l.Secure {
+			sec = "secure"
+		}
+		fmt.Printf("link %-8s %-8s %6.1fms %6.1fMb/s %s\n", l.A, l.B, l.LatencyMS, l.BandwidthMbps, sec)
+	}
+}

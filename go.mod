@@ -1,0 +1,3 @@
+module partsvc
+
+go 1.22

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/metrics"
+	"partsvc/internal/sim"
+)
+
+// Row is one Figure 7 data point: the average client-perceived send
+// latency for a scenario at a client count.
+type Row struct {
+	Scenario string
+	Clients  int
+	AvgMS    float64
+	P95MS    float64
+	MaxMS    float64
+	Sends    int
+}
+
+// RunFig7 reproduces Figure 7: every scenario at 1..MaxClients clients.
+// Rows appear scenario-major in Scenarios() order.
+func RunFig7(cfg Config) []Row {
+	var rows []Row
+	for _, sc := range Scenarios() {
+		for n := 1; n <= cfg.MaxClients; n++ {
+			rows = append(rows, RunScenario(cfg, sc, n))
+		}
+	}
+	return rows
+}
+
+// RunScenario simulates one scenario at one client count and returns
+// its latency row. The simulation is deterministic.
+func RunScenario(cfg Config, sc Scenario, clients int) Row {
+	env := sim.NewEnv()
+	w := &scenarioWorld{cfg: cfg, sc: sc, env: env}
+	w.build()
+	rec := &metrics.Recorder{}
+	w.active = clients
+	for c := 0; c < clients; c++ {
+		id := c
+		env.Go(fmt.Sprintf("client-%d", id), func(p *sim.Proc) {
+			w.runClient(p, rec)
+			w.active--
+		})
+	}
+	// Time-driven policies flush from a background process (the Smock
+	// runtime's periodic FlushIfDue loop); it drains once after the last
+	// client finishes and exits.
+	if w.replica != nil {
+		if _, timeDriven := w.replica.Policy().NextDeadline(0); timeDriven {
+			env.Go("flusher", func(p *sim.Proc) {
+				for {
+					deadline, _ := w.replica.NextDeadline()
+					if deadline > p.Now() {
+						p.SleepUntil(deadline)
+					}
+					w.flush(p)
+					if w.active == 0 {
+						return
+					}
+				}
+			})
+		}
+	}
+	env.Run()
+	return Row{
+		Scenario: sc.Name,
+		Clients:  clients,
+		AvgMS:    rec.Mean(),
+		P95MS:    rec.Percentile(95),
+		MaxMS:    rec.Max(),
+		Sends:    rec.Count(),
+	}
+}
+
+// scenarioWorld holds the simulated deployment for one scenario: links,
+// component service resources, and the view's coherence replica.
+type scenarioWorld struct {
+	cfg Config
+	sc  Scenario
+	env *sim.Env
+
+	// Duplex inter-site path (request and response directions).
+	slowUp, slowDown *sim.Link
+	// Duplex LAN path between the client node and the server node in
+	// fast scenarios.
+	lanUp, lanDown *sim.Link
+
+	// server serializes the primary MailServer's request processing.
+	server *sim.Resource
+	// view serializes the local ViewMailServer; the coherence flush
+	// holds it, stalling concurrent senders (the directory protocol
+	// "limits the number of unpropagated messages at each replica").
+	view    *sim.Mutex
+	replica *coherence.Replica
+	// active counts clients still running (lets the background flusher
+	// terminate).
+	active int
+}
+
+// flush propagates the replica's pending updates across the slow link
+// while holding the view lock.
+func (w *scenarioWorld) flush(p *sim.Proc) {
+	w.view.Lock(p)
+	batch := w.replica.TakePending(p.Now())
+	if len(batch) > 0 {
+		p.Sleep(2 * w.cfg.CryptoServiceMS)
+		w.slowUp.Transfer(p, len(batch)*w.cfg.RecordBytes)
+		w.server.Acquire(p, 1)
+		p.Sleep(w.cfg.ServerServiceMS)
+		w.server.Release(1)
+		w.slowDown.Transfer(p, w.cfg.ReplyBytes)
+	}
+	w.view.Unlock()
+}
+
+func (w *scenarioWorld) build() {
+	cfg := w.cfg
+	w.slowUp = sim.NewLink(w.env, cfg.SlowLatencyMS, cfg.SlowMbps)
+	w.slowDown = sim.NewLink(w.env, cfg.SlowLatencyMS, cfg.SlowMbps)
+	w.lanUp = sim.NewLink(w.env, cfg.LanLatencyMS, cfg.LanMbps)
+	w.lanDown = sim.NewLink(w.env, cfg.LanLatencyMS, cfg.LanMbps)
+	w.server = sim.NewResource(w.env, 1)
+	if w.sc.Cached {
+		w.view = sim.NewMutex(w.env)
+		policy := w.sc.Policy
+		if policy == nil {
+			policy = coherence.None{}
+		}
+		w.replica = coherence.NewReplica("view", policy, nil)
+	}
+}
+
+// runClient performs the paper's workload: SendsPerClient sends with a
+// receive sweep after every ReceiveEvery sends, at the maximum rate the
+// deployment permits.
+func (w *scenarioWorld) runClient(p *sim.Proc, rec *metrics.Recorder) {
+	receives := 0
+	for i := 1; i <= w.cfg.SendsPerClient; i++ {
+		start := p.Now()
+		w.send(p)
+		rec.Add(p.Now() - start)
+		if w.cfg.ReceiveEvery > 0 && i%w.cfg.ReceiveEvery == 0 {
+			receives++
+			w.receive(p, receives)
+		}
+	}
+}
+
+// send models one message send through the scenario's deployment.
+func (w *scenarioWorld) send(p *sim.Proc) {
+	cfg := w.cfg
+	p.Sleep(cfg.ClientServiceMS)
+	if w.sc.Dynamic {
+		p.Sleep(cfg.ProxyOverheadMS)
+	}
+	switch {
+	case w.sc.Cached:
+		// MailClient -> local ViewMailServer; the send is absorbed
+		// locally, logging coherence records; the policy may force a
+		// synchronous flush across the slow link while the view is
+		// locked.
+		w.view.Lock(p)
+		p.Sleep(cfg.ViewServiceMS)
+		flush := false
+		for r := 0; r < cfg.RecordsPerSend; r++ {
+			if w.replica.Write("send", "user", nil, p.Now()) {
+				flush = true
+			}
+		}
+		if flush {
+			batch := w.replica.TakePending(p.Now())
+			// Encryptor/Decryptor tunnel on the flush path.
+			p.Sleep(2 * cfg.CryptoServiceMS)
+			w.slowUp.Transfer(p, len(batch)*cfg.RecordBytes)
+			w.server.Acquire(p, 1)
+			p.Sleep(cfg.ServerServiceMS)
+			w.server.Release(1)
+			// Acknowledgement.
+			w.slowDown.Transfer(p, cfg.ReplyBytes)
+		}
+		w.view.Unlock()
+		_ = flush
+	case w.sc.Slow:
+		// SS: the client talks straight to the distant MailServer,
+		// "unaware of the slow link", through the encryptor tunnel.
+		p.Sleep(cfg.CryptoServiceMS)
+		w.slowUp.Transfer(p, cfg.MessageBytes)
+		p.Sleep(cfg.CryptoServiceMS)
+		w.server.Acquire(p, 1)
+		p.Sleep(cfg.ServerServiceMS)
+		w.server.Release(1)
+		w.slowDown.Transfer(p, cfg.ReplyBytes)
+	default:
+		// DF/SF: LAN client straight to the MailServer.
+		w.lanUp.Transfer(p, cfg.MessageBytes)
+		w.server.Acquire(p, 1)
+		p.Sleep(cfg.ServerServiceMS)
+		w.server.Release(1)
+		w.lanDown.Transfer(p, cfg.ReplyBytes)
+	}
+}
+
+// receive models one receive sweep. Receives are not part of the
+// Figure 7 metric but contribute contention and time, as in the paper's
+// workload.
+func (w *scenarioWorld) receive(p *sim.Proc, idx int) {
+	cfg := w.cfg
+	p.Sleep(cfg.ClientServiceMS)
+	if w.sc.Dynamic {
+		p.Sleep(cfg.ProxyOverheadMS)
+	}
+	switch {
+	case w.sc.Cached:
+		w.view.Lock(p)
+		p.Sleep(cfg.ViewServiceMS)
+		w.view.Unlock()
+		if cfg.MissEvery > 0 && idx%cfg.MissEvery == 0 {
+			// Cache miss (the view's RRF): fetch from the primary.
+			p.Sleep(2 * cfg.CryptoServiceMS)
+			w.slowUp.Transfer(p, cfg.ReplyBytes)
+			w.server.Acquire(p, 1)
+			p.Sleep(cfg.ServerServiceMS)
+			w.server.Release(1)
+			w.slowDown.Transfer(p, cfg.MessageBytes)
+		}
+	case w.sc.Slow:
+		p.Sleep(cfg.CryptoServiceMS)
+		w.slowUp.Transfer(p, cfg.ReplyBytes)
+		w.server.Acquire(p, 1)
+		p.Sleep(cfg.ServerServiceMS)
+		w.server.Release(1)
+		w.slowDown.Transfer(p, cfg.MessageBytes)
+		p.Sleep(cfg.CryptoServiceMS)
+	default:
+		w.lanUp.Transfer(p, cfg.ReplyBytes)
+		w.server.Acquire(p, 1)
+		p.Sleep(cfg.ServerServiceMS)
+		w.server.Release(1)
+		w.lanDown.Transfer(p, cfg.MessageBytes)
+	}
+}
+
+// Fig7Table renders rows as the experiment table printed by
+// cmd/mailbench.
+func Fig7Table(rows []Row) string {
+	t := metrics.NewTable("scenario", "group", "clients", "avg_send_ms", "p95_ms", "max_ms", "sends")
+	for _, r := range rows {
+		t.AddRow(r.Scenario, Group(r.Scenario), r.Clients, r.AvgMS, r.P95MS, r.MaxMS, r.Sends)
+	}
+	return t.String()
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"time"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/metrics"
+	"partsvc/internal/planner"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// BoundSweepRow is one point of ablation A2: send latency and staleness
+// as the coherence bound varies.
+type BoundSweepRow struct {
+	// Policy names the coherence policy.
+	Policy string
+	// AvgMS is the average send latency at the sweep's client count.
+	AvgMS float64
+	// MaxStale is the maximum number of unpropagated coherence records
+	// ever outstanding (the staleness the policy permits).
+	MaxStale int
+}
+
+// CoherenceBoundSweep runs the cached slow-site scenario across
+// coherence policies from write-through to none, exposing the
+// latency/staleness frontier that Section 4.2 alludes to ("the
+// framework provides sufficient flexibility to take advantage of
+// relaxed consistency protocols").
+func CoherenceBoundSweep(cfg Config, clients int) []BoundSweepRow {
+	policies := []coherence.Policy{
+		coherence.WriteThrough{},
+		coherence.CountBound{Bound: 100},
+		coherence.CountBound{Bound: 250},
+		coherence.CountBound{Bound: 500},
+		coherence.CountBound{Bound: 1000},
+		coherence.Periodic{PeriodMS: 250},
+		coherence.None{},
+	}
+	var rows []BoundSweepRow
+	for _, p := range policies {
+		sc := Scenario{Name: "sweep", Dynamic: true, Cached: true, Slow: true, Policy: p}
+		row := RunScenario(cfg, sc, clients)
+		stale := maxStaleness(p, cfg)
+		rows = append(rows, BoundSweepRow{Policy: p.String(), AvgMS: row.AvgMS, MaxStale: stale})
+	}
+	return rows
+}
+
+// maxStaleness computes the worst-case unpropagated records under a
+// policy for the configured workload.
+func maxStaleness(p coherence.Policy, cfg Config) int {
+	switch pol := p.(type) {
+	case coherence.WriteThrough:
+		return cfg.RecordsPerSend // at most one send's records in flight
+	case coherence.CountBound:
+		return pol.Bound
+	case coherence.Periodic:
+		// Bounded by what the workload can produce within one period; a
+		// period in the hundreds of ms comfortably exceeds a send burst.
+		return cfg.SendsPerClient * cfg.RecordsPerSend * cfg.MaxClients
+	case coherence.None:
+		return cfg.SendsPerClient * cfg.RecordsPerSend * cfg.MaxClients
+	}
+	return 0
+}
+
+// BoundSweepTable renders A2 rows.
+func BoundSweepTable(rows []BoundSweepRow) string {
+	t := metrics.NewTable("policy", "avg_send_ms", "max_stale_records")
+	for _, r := range rows {
+		t.AddRow(r.Policy, r.AvgMS, r.MaxStale)
+	}
+	return t.String()
+}
+
+// ScalingRow is one point of ablation A3: planner effort versus network
+// size.
+type ScalingRow struct {
+	Nodes      int
+	PlanMS     float64
+	Mappings   int
+	Chains     int
+	DPPlanMS   float64
+	DPMappings int
+}
+
+// PlannerScaling plans the mail service on BRITE-like Waxman topologies
+// of growing size, with both the exhaustive and the DP mapper. Every
+// topology gets a trust-5 node to host the primary and the request
+// originates at a trust-4-or-better node.
+func PlannerScaling(sizes []int, seed int64) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, n := range sizes {
+		net, err := topology.Waxman(topology.DefaultWaxman(n, seed))
+		if err != nil {
+			return nil, err
+		}
+		// Ensure a primary host and a client exist regardless of seed.
+		nodes := net.Nodes()
+		nodes[0].Props["TrustLevel"] = property.Int(5)
+		nodes[1].Props["TrustLevel"] = property.Int(4)
+		svc := spec.MailService()
+
+		measure := func(dp bool) (float64, int, int, error) {
+			pl := planner.New(svc, net)
+			ms, err := pl.PrimaryPlacement(spec.CompMailServer, nodes[0].ID)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			pl.AddExisting(ms)
+			req := planner.Request{
+				Interface: spec.IfaceClient, ClientNode: nodes[1].ID, User: "Alice", RateRPS: 10,
+			}
+			t0 := time.Now()
+			if dp {
+				_, err = pl.PlanDP(req)
+			} else {
+				_, err = pl.Plan(req)
+			}
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			st := pl.Stats()
+			return msSince(t0), st.MappingsTried, st.ChainsEnumerated, nil
+		}
+		exMS, exMaps, chains, err := measure(false)
+		if err != nil {
+			return nil, err
+		}
+		dpMS, dpMaps, _, err := measure(true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Nodes: n, PlanMS: exMS, Mappings: exMaps, Chains: chains,
+			DPPlanMS: dpMS, DPMappings: dpMaps,
+		})
+	}
+	return rows, nil
+}
+
+// ScalingTable renders A3 rows.
+func ScalingTable(rows []ScalingRow) string {
+	t := metrics.NewTable("nodes", "chains", "exhaustive_ms", "exhaustive_mappings", "dp_ms", "dp_mappings")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.Chains, r.PlanMS, r.Mappings, r.DPPlanMS, r.DPMappings)
+	}
+	return t.String()
+}

@@ -1,0 +1,274 @@
+package coherence
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteThroughPolicy(t *testing.T) {
+	p := WriteThrough{}
+	if !p.FlushOnWrite(1) {
+		t.Error("write-through flushes on every write")
+	}
+	if _, ok := p.NextDeadline(0); ok {
+		t.Error("write-through has no deadlines")
+	}
+	if p.String() != "write-through" {
+		t.Error("name")
+	}
+}
+
+func TestCountBoundPolicy(t *testing.T) {
+	p := CountBound{Bound: 500}
+	if p.FlushOnWrite(499) {
+		t.Error("must not flush below the bound")
+	}
+	if !p.FlushOnWrite(500) {
+		t.Error("must flush at the bound")
+	}
+	if _, ok := p.NextDeadline(0); ok {
+		t.Error("count-bound has no deadlines")
+	}
+	if p.String() != "count-bound(500)" {
+		t.Errorf("name = %q", p.String())
+	}
+}
+
+func TestPeriodicPolicy(t *testing.T) {
+	p := Periodic{PeriodMS: 500}
+	if p.FlushOnWrite(1000000) {
+		t.Error("periodic never flushes on writes")
+	}
+	d, ok := p.NextDeadline(1200)
+	if !ok || d != 1700 {
+		t.Errorf("deadline = %v, %v", d, ok)
+	}
+	if p.String() != "periodic(500ms)" {
+		t.Errorf("name = %q", p.String())
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	p := None{}
+	if p.FlushOnWrite(1 << 20) {
+		t.Error("none never flushes")
+	}
+	if _, ok := p.NextDeadline(0); ok {
+		t.Error("none has no deadlines")
+	}
+	if p.String() != "none" {
+		t.Error("name")
+	}
+}
+
+func TestReplicaWriteAndTakePending(t *testing.T) {
+	r := NewReplica("sd", CountBound{Bound: 3}, nil)
+	if r.Write("send", "alice", []byte("m1"), 1) {
+		t.Error("no flush at 1 pending")
+	}
+	if r.Write("send", "alice", []byte("m2"), 2) {
+		t.Error("no flush at 2 pending")
+	}
+	if !r.Write("send", "bob", []byte("m3"), 3) {
+		t.Error("flush at bound 3")
+	}
+	if r.Pending() != 3 {
+		t.Errorf("pending = %d", r.Pending())
+	}
+	batch := r.TakePending(3)
+	if len(batch) != 3 || r.Pending() != 0 {
+		t.Errorf("TakePending = %d items, %d left", len(batch), r.Pending())
+	}
+	for i, u := range batch {
+		if u.Origin != "sd" || u.Seq != uint64(i+1) {
+			t.Errorf("update %d = %+v", i, u)
+		}
+	}
+}
+
+func TestReplicaDeadlineTracksLastFlush(t *testing.T) {
+	r := NewReplica("sd", Periodic{PeriodMS: 100}, nil)
+	if d, ok := r.NextDeadline(); !ok || d != 100 {
+		t.Errorf("initial deadline = %v, %v", d, ok)
+	}
+	r.Write("send", "k", nil, 42)
+	r.TakePending(250)
+	if d, ok := r.NextDeadline(); !ok || d != 350 {
+		t.Errorf("post-flush deadline = %v, %v", d, ok)
+	}
+}
+
+func TestReplicaApplyRemoteExactlyOnce(t *testing.T) {
+	var got []string
+	r := NewReplica("b", WriteThrough{}, func(u Update) {
+		got = append(got, fmt.Sprintf("%s:%d", u.Origin, u.Seq))
+	})
+	batch := []Update{
+		{Origin: "a", Seq: 1, Op: "send"},
+		{Origin: "a", Seq: 2, Op: "send"},
+	}
+	if n := r.ApplyRemote(batch); n != 2 {
+		t.Errorf("first apply = %d", n)
+	}
+	if n := r.ApplyRemote(batch); n != 0 {
+		t.Errorf("duplicate apply = %d", n)
+	}
+	// Own-origin updates are skipped.
+	if n := r.ApplyRemote([]Update{{Origin: "b", Seq: 9}}); n != 0 {
+		t.Errorf("own-origin apply = %d", n)
+	}
+	if !reflect.DeepEqual(got, []string{"a:1", "a:2"}) {
+		t.Errorf("applied = %v", got)
+	}
+}
+
+func TestConflictMap(t *testing.T) {
+	cm := NewConflictMap()
+	if cm.Conflicts("read", "send") {
+		t.Error("undeclared pairs do not conflict")
+	}
+	cm.Declare("read", "send", true)
+	if !cm.Conflicts("read", "send") || !cm.Conflicts("send", "read") {
+		t.Error("conflicts must be symmetric")
+	}
+	cm.Declare("read", "send", false)
+	if cm.Conflicts("read", "send") {
+		t.Error("conflict maps are dynamic; redeclaration must win")
+	}
+}
+
+func TestReplicaStaleFor(t *testing.T) {
+	cm := NewConflictMap()
+	cm.Declare("receive", "send", true)
+	r := NewReplica("sd", None{}, nil)
+	if r.StaleFor("receive", cm) {
+		t.Error("no pending writes, not stale")
+	}
+	r.Write("send", "alice", nil, 1)
+	if !r.StaleFor("receive", cm) {
+		t.Error("pending conflicting write must make reads stale")
+	}
+	if r.StaleFor("browse", cm) {
+		t.Error("non-conflicting op is not stale")
+	}
+	if r.StaleFor("receive", nil) {
+		t.Error("nil conflict map never conflicts")
+	}
+	r.TakePending(2)
+	if r.StaleFor("receive", cm) {
+		t.Error("flushed replica is not stale")
+	}
+}
+
+func TestDirectoryFanOut(t *testing.T) {
+	d := NewDirectory()
+	var atB, atC int
+	a := NewReplica("a", WriteThrough{}, nil)
+	b := NewReplica("b", WriteThrough{}, func(Update) { atB++ })
+	c := NewReplica("c", WriteThrough{}, func(Update) { atC++ })
+	d.Register("VMS", a)
+	d.Register("VMS", b)
+	d.Register("VMS", c)
+	if got := d.Replicas("VMS"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("replicas = %v", got)
+	}
+	a.Write("send", "k", []byte("x"), 1)
+	n := d.Publish("VMS", a.TakePending(1))
+	if n != 2 {
+		t.Errorf("published to %d replicas, want 2", n)
+	}
+	if atB != 1 || atC != 1 {
+		t.Errorf("applied b=%d c=%d", atB, atC)
+	}
+	if d.HistoryLen("VMS") != 1 {
+		t.Errorf("history = %d", d.HistoryLen("VMS"))
+	}
+}
+
+func TestDirectoryCatchUpOnRegister(t *testing.T) {
+	d := NewDirectory()
+	a := NewReplica("a", WriteThrough{}, nil)
+	d.Register("VMS", a)
+	a.Write("send", "k1", nil, 1)
+	a.Write("send", "k2", nil, 2)
+	d.Publish("VMS", a.TakePending(2))
+
+	var caught int
+	late := NewReplica("late", WriteThrough{}, func(Update) { caught++ })
+	d.Register("VMS", late)
+	if caught != 2 {
+		t.Errorf("late replica caught up %d updates, want 2", caught)
+	}
+}
+
+func TestDirectoryUnregister(t *testing.T) {
+	d := NewDirectory()
+	a := NewReplica("a", WriteThrough{}, nil)
+	gone := 0
+	b := NewReplica("b", WriteThrough{}, func(Update) { gone++ })
+	d.Register("VMS", a)
+	d.Register("VMS", b)
+	d.Unregister("VMS", "b")
+	a.Write("send", "k", nil, 1)
+	d.Publish("VMS", a.TakePending(1))
+	if gone != 0 {
+		t.Error("unregistered replica must not receive updates")
+	}
+	if got := d.Replicas("VMS"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("replicas = %v", got)
+	}
+}
+
+func TestDirectoryPublishEmptyBatch(t *testing.T) {
+	d := NewDirectory()
+	if n := d.Publish("VMS", nil); n != 0 {
+		t.Errorf("empty publish = %d", n)
+	}
+}
+
+// TestQuickCountBoundNeverExceedsBound: under any write pattern, a
+// replica that flushes whenever Write reports true never holds more
+// than Bound pending updates — the paper's coherence guarantee.
+func TestQuickCountBoundNeverExceedsBound(t *testing.T) {
+	f := func(writes uint8, boundSeed uint8) bool {
+		bound := int(boundSeed%7) + 1
+		r := NewReplica("x", CountBound{Bound: bound}, nil)
+		for i := 0; i < int(writes); i++ {
+			if r.Pending() > bound {
+				return false
+			}
+			if r.Write("send", "k", nil, float64(i)) {
+				r.TakePending(float64(i))
+			}
+		}
+		return r.Pending() <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExactlyOnceUnderRedelivery: replaying arbitrary prefixes of
+// an update stream never double-applies.
+func TestQuickExactlyOnceUnderRedelivery(t *testing.T) {
+	f := func(n uint8, replays []uint8) bool {
+		total := int(n%32) + 1
+		stream := make([]Update, total)
+		for i := range stream {
+			stream[i] = Update{Origin: "a", Seq: uint64(i + 1)}
+		}
+		applied := 0
+		r := NewReplica("b", WriteThrough{}, func(Update) { applied++ })
+		for _, cut := range replays {
+			k := int(cut) % (total + 1)
+			r.ApplyRemote(stream[:k])
+		}
+		r.ApplyRemote(stream)
+		return applied == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

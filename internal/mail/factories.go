@@ -1,0 +1,153 @@
+package mail
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/seccrypto"
+	"partsvc/internal/smock"
+	"partsvc/internal/spec"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// ServiceEnv is the service owner's environment shared by the mail
+// component factories: the primary server and the master key ring.
+// In a fully distributed deployment the escrowed keys would ride the
+// install order's State snapshot; sharing them through the environment
+// keeps the single-process examples honest about *which* keys each
+// component may hold (views only ever receive a SubRing).
+type ServiceEnv struct {
+	// Primary is the pre-deployed MailServer.
+	Primary *Server
+	// Keys is the master key ring (the primary's).
+	Keys *seccrypto.KeyRing
+	// DefaultPolicy is the coherence policy given to new views;
+	// nil means write-through.
+	DefaultPolicy coherence.Policy
+
+	viewSeq atomic.Uint64
+}
+
+// relayHandler forwards every message to an endpoint unchanged: the
+// serving side of pure proxy components.
+func relayHandler(ep transport.Endpoint) transport.Handler {
+	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		resp, err := ep.Call(m)
+		if err != nil {
+			return transport.ErrorResponse(m, "relay: %v", err)
+		}
+		return resp
+	})
+}
+
+// RegisterFactories installs the six mail component factories into a
+// Smock registry, keyed by their specification names.
+func RegisterFactories(reg *smock.Registry, env *ServiceEnv) error {
+	if env.Primary == nil || env.Keys == nil {
+		return fmt.Errorf("mail: service environment needs a primary and keys")
+	}
+	policy := func() coherence.Policy {
+		if env.DefaultPolicy != nil {
+			return env.DefaultPolicy
+		}
+		return coherence.WriteThrough{}
+	}
+
+	factories := map[string]smock.Factory{
+		// The primary itself: activated once at service start.
+		spec.CompMailServer: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			return NewHandler(env.Primary), nil
+		},
+		// Data view: trust from the factored configuration, escrowed
+		// keys, upstream over the provided endpoint, registered with the
+		// primary's coherence directory.
+		spec.CompViewMailServer: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			trustVal, ok := ctx.Config[spec.PropTrustLevel]
+			if !ok {
+				return nil, fmt.Errorf("view needs a factored TrustLevel")
+			}
+			trust, ok := trustVal.AsInt()
+			if !ok {
+				return nil, fmt.Errorf("factored TrustLevel is %v", trustVal)
+			}
+			up, ok := ctx.Upstreams[spec.IfaceServer]
+			if !ok {
+				return nil, fmt.Errorf("view needs a ServerInterface provider")
+			}
+			idBase := (env.viewSeq.Add(1)) << 32
+			v, err := NewView(ViewConfig{
+				ID:       ctx.InstanceID,
+				Trust:    int(trust),
+				Keys:     env.Keys.SubRing(int(trust)),
+				Upstream: NewRemote(up),
+				Policy:   policy(),
+				Clock:    ctx.Clock,
+				Snapshot: ctx.State,
+			}, idBase)
+			if err != nil {
+				return nil, err
+			}
+			env.Primary.Directory().Register(ViewName, v.Replica())
+			return NewHandler(v), nil
+		},
+		// Encryptor: a relay that seals everything with the edge secret
+		// shared with its Decryptor.
+		spec.CompEncryptor: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			up, ok := ctx.Upstreams[spec.IfaceDecryptor]
+			if !ok {
+				return nil, fmt.Errorf("encryptor needs a DecryptorInterface provider")
+			}
+			key, ok := ctx.UpstreamSecrets[spec.IfaceDecryptor]
+			if !ok || len(key) == 0 {
+				return nil, fmt.Errorf("encryptor needs an edge secret")
+			}
+			return relayHandler(NewEncryptorEndpoint(up, ChannelKey(key))), nil
+		},
+		// Decryptor: opens tunnel traffic with the secret shared with
+		// its Encryptor and relays plaintext upstream.
+		spec.CompDecryptor: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			up, ok := ctx.Upstreams[spec.IfaceServer]
+			if !ok {
+				return nil, fmt.Errorf("decryptor needs a ServerInterface provider")
+			}
+			if len(ctx.ServeSecret) == 0 {
+				return nil, fmt.Errorf("decryptor needs an edge secret")
+			}
+			return NewDecryptorHandler(relayHandler(up), ChannelKey(ctx.ServeSecret)), nil
+		},
+		// Full client component: a pure relay toward its server; the
+		// application-level Client object speaks through it.
+		spec.CompMailClient: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			up, ok := ctx.Upstreams[spec.IfaceServer]
+			if !ok {
+				return nil, fmt.Errorf("mail client needs a ServerInterface provider")
+			}
+			return relayHandler(up), nil
+		},
+		// Restricted client (object view): relays send/receive only —
+		// the address-book functionality is absent from the view.
+		spec.CompViewMailClient: func(ctx *smock.ActivationContext) (transport.Handler, error) {
+			up, ok := ctx.Upstreams[spec.IfaceServer]
+			if !ok {
+				return nil, fmt.Errorf("view mail client needs a ServerInterface provider")
+			}
+			relay := relayHandler(up)
+			return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+				switch m.Method {
+				case "send", "receive":
+					return relay.Handle(m)
+				default:
+					return transport.ErrorResponse(m, "view client: %q not available in the restricted client", m.Method)
+				}
+			}), nil
+		},
+	}
+	for name, f := range factories {
+		if err := reg.Register(name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

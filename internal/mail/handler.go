@@ -1,0 +1,230 @@
+package mail
+
+import (
+	"fmt"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// RPC adapters: expose an Upstream over a transport (NewHandler) and
+// consume a remote Upstream through an endpoint (NewRemote). All
+// payloads use the wire value encoding, so the same bits flow over the
+// in-process transport, TCP, and the encryptor tunnel.
+
+// NewHandler serves an Upstream as a transport.Handler.
+func NewHandler(api Upstream) transport.Handler {
+	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		reply, err := dispatch(api, m)
+		if err != nil {
+			return transport.ErrorResponse(m, "%v", err)
+		}
+		body, err := wire.Marshal(reply)
+		if err != nil {
+			return transport.ErrorResponse(m, "encoding reply: %v", err)
+		}
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Method: m.Method, Body: body}
+	})
+}
+
+func dispatch(api Upstream, m *wire.Message) (map[string]any, error) {
+	args, err := decodeArgs(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	str := func(k string) string { s, _ := args[k].(string); return s }
+	switch m.Method {
+	case "createAccount":
+		return map[string]any{}, api.CreateAccount(str("user"))
+	case "send":
+		body, _ := args["body"].([]byte)
+		sens, _ := args["sens"].(int64)
+		id, err := api.Send(str("from"), str("to"), str("subject"), body, int(sens))
+		return map[string]any{"id": int64(id)}, err
+	case "receive":
+		msgs, err := api.Receive(str("user"))
+		if err != nil {
+			return nil, err
+		}
+		encoded := make([]any, len(msgs))
+		for i, msg := range msgs {
+			data, err := encodeMessage(msg)
+			if err != nil {
+				return nil, err
+			}
+			encoded[i] = data
+		}
+		return map[string]any{"msgs": encoded}, nil
+	case "addContact":
+		return map[string]any{}, api.AddContact(str("user"), str("contact"))
+	case "contacts":
+		contacts, err := api.Contacts(str("user"))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(contacts))
+		for i, c := range contacts {
+			out[i] = c
+		}
+		return map[string]any{"contacts": out}, nil
+	case "pushUpdates":
+		items, _ := args["batch"].([]any)
+		batch := make([]coherence.Update, 0, len(items))
+		for _, item := range items {
+			u, err := decodeUpdate(item)
+			if err != nil {
+				return nil, err
+			}
+			batch = append(batch, u)
+		}
+		return map[string]any{}, api.PushUpdates(batch)
+	default:
+		return nil, fmt.Errorf("mail: unknown method %q", m.Method)
+	}
+}
+
+func decodeArgs(body []byte) (map[string]any, error) {
+	if len(body) == 0 {
+		return map[string]any{}, nil
+	}
+	v, err := wire.Unmarshal(body)
+	if err != nil {
+		return nil, err
+	}
+	args, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("mail: args are %T, want map", v)
+	}
+	return args, nil
+}
+
+func encodeUpdate(u coherence.Update) map[string]any {
+	return map[string]any{
+		"origin": u.Origin, "seq": int64(u.Seq), "op": u.Op,
+		"key": u.Key, "data": u.Data, "time": u.TimeMS,
+	}
+}
+
+func decodeUpdate(v any) (coherence.Update, error) {
+	f, ok := v.(map[string]any)
+	if !ok {
+		return coherence.Update{}, fmt.Errorf("mail: update is %T", v)
+	}
+	u := coherence.Update{}
+	u.Origin, _ = f["origin"].(string)
+	if seq, ok := f["seq"].(int64); ok {
+		u.Seq = uint64(seq)
+	}
+	u.Op, _ = f["op"].(string)
+	u.Key, _ = f["key"].(string)
+	u.Data, _ = f["data"].([]byte)
+	u.TimeMS, _ = f["time"].(float64)
+	if u.Origin == "" || u.Seq == 0 || u.Op == "" {
+		return coherence.Update{}, fmt.Errorf("mail: incomplete update encoding")
+	}
+	return u, nil
+}
+
+// Remote is a client stub: an Upstream backed by a transport endpoint.
+type Remote struct {
+	ep transport.Endpoint
+	id uint64
+}
+
+// NewRemote returns an Upstream that forwards every call over the
+// endpoint (which may itself be an EncryptorEndpoint tunnel).
+func NewRemote(ep transport.Endpoint) *Remote { return &Remote{ep: ep} }
+
+// Close releases the endpoint.
+func (r *Remote) Close() error { return r.ep.Close() }
+
+func (r *Remote) call(method string, args map[string]any) (map[string]any, error) {
+	body, err := wire.Marshal(args)
+	if err != nil {
+		return nil, err
+	}
+	r.id++
+	resp, err := r.ep.Call(&wire.Message{Kind: wire.KindRequest, ID: r.id, Method: method, Body: body})
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.AsError(resp); err != nil {
+		return nil, err
+	}
+	return decodeArgs(resp.Body)
+}
+
+// CreateAccount implements API.
+func (r *Remote) CreateAccount(user string) error {
+	_, err := r.call("createAccount", map[string]any{"user": user})
+	return err
+}
+
+// Send implements API.
+func (r *Remote) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	reply, err := r.call("send", map[string]any{
+		"from": from, "to": to, "subject": subject, "body": body, "sens": int64(sensitivity),
+	})
+	if err != nil {
+		return 0, err
+	}
+	id, _ := reply["id"].(int64)
+	return uint64(id), nil
+}
+
+// Receive implements API.
+func (r *Remote) Receive(user string) ([]*Message, error) {
+	reply, err := r.call("receive", map[string]any{"user": user})
+	if err != nil {
+		return nil, err
+	}
+	items, _ := reply["msgs"].([]any)
+	out := make([]*Message, 0, len(items))
+	for _, item := range items {
+		data, ok := item.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("mail: message entry is %T", item)
+		}
+		m, err := decodeMessage(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// AddContact implements API.
+func (r *Remote) AddContact(user, contact string) error {
+	_, err := r.call("addContact", map[string]any{"user": user, "contact": contact})
+	return err
+}
+
+// Contacts implements API.
+func (r *Remote) Contacts(user string) ([]string, error) {
+	reply, err := r.call("contacts", map[string]any{"user": user})
+	if err != nil {
+		return nil, err
+	}
+	items, _ := reply["contacts"].([]any)
+	out := make([]string, 0, len(items))
+	for _, item := range items {
+		s, ok := item.(string)
+		if !ok {
+			return nil, fmt.Errorf("mail: contact entry is %T", item)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PushUpdates implements UpdateSink.
+func (r *Remote) PushUpdates(batch []coherence.Update) error {
+	items := make([]any, len(batch))
+	for i, u := range batch {
+		items[i] = encodeUpdate(u)
+	}
+	_, err := r.call("pushUpdates", map[string]any{"batch": items})
+	return err
+}

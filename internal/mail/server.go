@@ -1,0 +1,259 @@
+package mail
+
+import (
+	"fmt"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/seccrypto"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// API is the ServerInterface of the mail specification: the operations
+// a mail client invokes against whatever stands in for the server — the
+// primary, a view replica, or an encryptor tunnel.
+type API interface {
+	// CreateAccount provisions a user, generating per-level keys.
+	CreateAccount(user string) error
+	// Send files a message; the body is sealed at the sender's
+	// sensitivity level before it leaves the trusted component.
+	Send(from, to, subject string, body []byte, sensitivity int) (uint64, error)
+	// Receive returns the user's inbox with every body transformed to
+	// the recipient's key.
+	Receive(user string) ([]*Message, error)
+	// AddContact and Contacts maintain the user's address book (not
+	// available through the restricted ViewMailClient).
+	AddContact(user, contact string) error
+	Contacts(user string) ([]string, error)
+}
+
+// Server is the primary MailServer component: unrestricted store, full
+// key ring, and the coherence directory against which view replicas
+// register.
+type Server struct {
+	store *Store
+	keys  *seccrypto.KeyRing
+	clock transport.Clock
+	dir   *coherence.Directory
+	// replica is the primary's own coherence agent: its writes are
+	// published to the directory immediately (the primary is always
+	// consistent).
+	replica *coherence.Replica
+}
+
+// ViewName is the coherence view identity under which mail state
+// replicates.
+const ViewName = "mail"
+
+// NewServer returns a primary mail server with its own directory.
+func NewServer(keys *seccrypto.KeyRing, clock transport.Clock) *Server {
+	s := &Server{
+		store: NewStore(0),
+		keys:  keys,
+		clock: clock,
+		dir:   coherence.NewDirectory(),
+	}
+	s.replica = coherence.NewReplica("primary", coherence.WriteThrough{}, func(u coherence.Update) {
+		applyUpdate(s.store, u)
+	})
+	s.dir.Register(ViewName, s.replica)
+	return s
+}
+
+// Directory exposes the coherence directory for replica registration.
+func (s *Server) Directory() *coherence.Directory { return s.dir }
+
+// Keys exposes the full key ring (for escrow when deploying views).
+func (s *Server) Keys() *seccrypto.KeyRing { return s.keys }
+
+// Store exposes the primary store (read-mostly, for tests and tools).
+func (s *Server) Store() *Store { return s.store }
+
+// CreateAccount provisions the user and generates per-level keys
+// (account-setup key generation, Section 2).
+func (s *Server) CreateAccount(user string) error {
+	if err := s.store.CreateAccount(user); err != nil {
+		return err
+	}
+	if err := s.keys.GenerateUserKeys(user, seccrypto.MaxLevel); err != nil {
+		return err
+	}
+	s.publish("createAccount", user, nil)
+	return nil
+}
+
+// Send seals the body at the sender's sensitivity and files it into the
+// recipient's inbox and the sender's sent folder.
+func (s *Server) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	m, err := sealMessage(s.keys, s.store, from, to, subject, body, sensitivity, s.clock.NowMS())
+	if err != nil {
+		return 0, err
+	}
+	if err := deliver(s.store, m); err != nil {
+		return 0, err
+	}
+	data, err := encodeMessage(m)
+	if err != nil {
+		return 0, err
+	}
+	s.publish("send", m.To, data)
+	return m.ID, nil
+}
+
+// Receive returns the user's inbox, each body transformed to the
+// recipient's key at the message's sensitivity level.
+func (s *Server) Receive(user string) ([]*Message, error) {
+	return receiveFrom(s.store, s.keys, user)
+}
+
+// AddContact appends to the address book.
+func (s *Server) AddContact(user, contact string) error {
+	if err := s.store.AddContact(user, contact); err != nil {
+		return err
+	}
+	s.publish("addContact", user+"\x00"+contact, nil)
+	return nil
+}
+
+// Contacts returns the address book.
+func (s *Server) Contacts(user string) ([]string, error) {
+	return s.store.Contacts(user)
+}
+
+// publish logs a primary write and fans it out to replicas immediately.
+func (s *Server) publish(op, key string, data []byte) {
+	now := s.clock.NowMS()
+	s.replica.Write(op, key, data, now)
+	s.dir.Publish(ViewName, s.replica.TakePending(now))
+}
+
+// sealMessage validates a send and seals its body at the sender's
+// sensitivity.
+func sealMessage(keys *seccrypto.KeyRing, ids *Store, from, to, subject string, body []byte, sensitivity int, nowMS float64) (*Message, error) {
+	if sensitivity < 1 || sensitivity > seccrypto.MaxLevel {
+		return nil, fmt.Errorf("mail: sensitivity %d outside 1..%d", sensitivity, seccrypto.MaxLevel)
+	}
+	env, err := keys.Seal(from, sensitivity, body)
+	if err != nil {
+		return nil, fmt.Errorf("mail: sealing message: %w", err)
+	}
+	sealed, err := env.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &Message{
+		ID:          ids.AssignID(),
+		From:        from,
+		To:          to,
+		Subject:     subject,
+		Body:        sealed,
+		Sensitivity: sensitivity,
+		SentAtMS:    nowMS,
+	}, nil
+}
+
+// deliver files a sealed message into recipient inbox and sender sent.
+func deliver(store *Store, m *Message) error {
+	if !store.HasAccount(m.To) && store.MaxSensitivity() == 0 {
+		return fmt.Errorf("mail: no account %q", m.To)
+	}
+	if err := store.Append(m.To, FolderInbox, m); err != nil {
+		return err
+	}
+	if store.HasAccount(m.From) {
+		if err := store.Append(m.From, FolderSent, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// receiveFrom returns a user's inbox with bodies transformed to the
+// recipient's own keys ("transforms these messages to those encrypted
+// to the recipient's sensitivity upon a receive").
+func receiveFrom(store *Store, keys *seccrypto.KeyRing, user string) ([]*Message, error) {
+	msgs, err := store.Folder(user, FolderInbox)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		env, err := seccrypto.UnmarshalEnvelope(m.Body)
+		if err != nil {
+			return nil, fmt.Errorf("mail: message %d: %w", m.ID, err)
+		}
+		out, err := keys.Transform(env, user, m.Sensitivity)
+		if err != nil {
+			return nil, fmt.Errorf("mail: transforming message %d: %w", m.ID, err)
+		}
+		if m.Body, err = out.Marshal(); err != nil {
+			return nil, err
+		}
+	}
+	return msgs, nil
+}
+
+// encodeMessage serializes a message for coherence updates and wire
+// transport.
+func encodeMessage(m *Message) ([]byte, error) {
+	return wire.Marshal(map[string]any{
+		"id": int64(m.ID), "from": m.From, "to": m.To, "subject": m.Subject,
+		"body": m.Body, "sens": int64(m.Sensitivity), "at": m.SentAtMS,
+	})
+}
+
+// decodeMessage reverses encodeMessage.
+func decodeMessage(data []byte) (*Message, error) {
+	v, err := wire.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("mail: message encoding is %T", v)
+	}
+	m := &Message{}
+	if id, ok := f["id"].(int64); ok {
+		m.ID = uint64(id)
+	}
+	m.From, _ = f["from"].(string)
+	m.To, _ = f["to"].(string)
+	m.Subject, _ = f["subject"].(string)
+	m.Body, _ = f["body"].([]byte)
+	if sens, ok := f["sens"].(int64); ok {
+		m.Sensitivity = int(sens)
+	}
+	m.SentAtMS, _ = f["at"].(float64)
+	if m.From == "" || m.To == "" || m.Sensitivity == 0 {
+		return nil, fmt.Errorf("mail: incomplete message encoding")
+	}
+	return m, nil
+}
+
+// applyUpdate replays a coherence update against a store. Messages above
+// the store's ceiling are skipped (a trust-limited view must not hold
+// them).
+func applyUpdate(store *Store, u coherence.Update) {
+	switch u.Op {
+	case "createAccount":
+		store.EnsureAccount(u.Key)
+	case "addContact":
+		for i := 0; i+1 < len(u.Key); i++ {
+			if u.Key[i] == 0 {
+				store.EnsureAccount(u.Key[:i])
+				// Contact adds are idempotent; errors cannot occur after
+				// EnsureAccount.
+				_ = store.AddContact(u.Key[:i], u.Key[i+1:])
+				return
+			}
+		}
+	case "send":
+		m, err := decodeMessage(u.Data)
+		if err != nil {
+			return
+		}
+		if !store.Admissible(m.Sensitivity) {
+			return
+		}
+		_ = deliver(store, m)
+	}
+}

@@ -1,0 +1,147 @@
+package mail
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// The Encryptor and Decryptor components of the mail specification are
+// transport-level wrappers: the Encryptor seals whole requests before
+// they cross an insecure link and the Decryptor opens them next to the
+// provider. They are deliberately generic — they know nothing about
+// mail semantics, matching their property-transparent role in the
+// planner (they re-establish Confidentiality and pass TrustLevel
+// through).
+
+// ChannelKey is the symmetric key shared by an Encryptor-Decryptor
+// pair, generated when the planner deploys the pair.
+type ChannelKey []byte
+
+// NewChannelKey returns a fresh random 256-bit key.
+func NewChannelKey() (ChannelKey, error) {
+	k := make([]byte, 32)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("mail: channel key: %w", err)
+	}
+	return k, nil
+}
+
+func (k ChannelKey) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, fmt.Errorf("mail: channel cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// seal encrypts an arbitrary payload under the channel key.
+func (k ChannelKey) seal(plaintext []byte) ([]byte, error) {
+	aead, err := k.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, aead.Seal(nil, nonce, plaintext, nil)...), nil
+}
+
+// open decrypts a payload sealed by seal.
+func (k ChannelKey) open(sealed []byte) ([]byte, error) {
+	aead, err := k.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, fmt.Errorf("mail: sealed payload too short")
+	}
+	pt, err := aead.Open(nil, sealed[:aead.NonceSize()], sealed[aead.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("mail: opening channel payload: %w", err)
+	}
+	return pt, nil
+}
+
+// TunnelMethod is the method name of sealed tunnel messages.
+const TunnelMethod = "tunnel"
+
+// EncryptorEndpoint is the client half of the tunnel: a
+// transport.Endpoint middleware that seals every message before
+// forwarding it to the Decryptor and opens every response.
+type EncryptorEndpoint struct {
+	inner transport.Endpoint
+	key   ChannelKey
+}
+
+// NewEncryptorEndpoint wraps an endpoint with the Encryptor component.
+func NewEncryptorEndpoint(inner transport.Endpoint, key ChannelKey) *EncryptorEndpoint {
+	return &EncryptorEndpoint{inner: inner, key: key}
+}
+
+// Call seals the wire-encoded request, transmits it as a tunnel
+// message, and opens the sealed response.
+func (e *EncryptorEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	plain, err := m.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := e.key.seal(plain)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := e.inner.Call(&wire.Message{
+		Kind: wire.KindRequest, ID: m.ID, Method: TunnelMethod, Body: sealed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.AsError(resp); err != nil {
+		return nil, err
+	}
+	opened, err := e.key.open(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalMessage(opened)
+}
+
+// Close closes the underlying endpoint.
+func (e *EncryptorEndpoint) Close() error { return e.inner.Close() }
+
+// NewDecryptorHandler is the server half of the tunnel: it opens sealed
+// tunnel messages, dispatches them to the inner handler, and seals the
+// responses.
+func NewDecryptorHandler(inner transport.Handler, key ChannelKey) transport.Handler {
+	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		if m.Method != TunnelMethod {
+			return transport.ErrorResponse(m, "decryptor: unexpected method %q", m.Method)
+		}
+		plain, err := key.open(m.Body)
+		if err != nil {
+			return transport.ErrorResponse(m, "decryptor: %v", err)
+		}
+		req, err := wire.UnmarshalMessage(plain)
+		if err != nil {
+			return transport.ErrorResponse(m, "decryptor: %v", err)
+		}
+		resp := inner.Handle(req)
+		if resp == nil {
+			return transport.ErrorResponse(m, "decryptor: inner handler returned nil")
+		}
+		data, err := resp.Marshal()
+		if err != nil {
+			return transport.ErrorResponse(m, "decryptor: encoding response: %v", err)
+		}
+		sealed, err := key.seal(data)
+		if err != nil {
+			return transport.ErrorResponse(m, "decryptor: sealing response: %v", err)
+		}
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Method: TunnelMethod, Body: sealed}
+	})
+}

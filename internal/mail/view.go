@@ -1,0 +1,249 @@
+package mail
+
+import (
+	"fmt"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/seccrypto"
+	"partsvc/internal/transport"
+)
+
+// UpdateSink accepts coherence batches pushed from downstream replicas.
+type UpdateSink interface {
+	// PushUpdates applies a replica's flushed batch.
+	PushUpdates(batch []coherence.Update) error
+}
+
+// Upstream is what a view links to: the full mail API plus the
+// coherence push path. The primary Server, another View, and the
+// encryptor tunnel all satisfy it.
+type Upstream interface {
+	API
+	UpdateSink
+}
+
+// PushUpdates applies a batch at the primary and republishes it to the
+// other replicas (directory fan-out).
+func (s *Server) PushUpdates(batch []coherence.Update) error {
+	// ApplyRemote marks the batch applied exactly once and invokes the
+	// store-apply callback; Publish forwards to sibling replicas.
+	s.replica.ApplyRemote(batch)
+	s.dir.Publish(ViewName, batch)
+	return nil
+}
+
+// View is the ViewMailServer component: a data view of the MailServer
+// holding only messages whose sensitivity its node's trust level
+// permits, kept coherent with the primary through a pluggable
+// weak-consistency policy.
+type View struct {
+	id        string
+	store     *Store
+	keys      *seccrypto.KeyRing
+	clock     transport.Clock
+	upstream  Upstream
+	replica   *coherence.Replica
+	conflicts *coherence.ConflictMap
+	trust     int
+}
+
+// ViewConfig configures a view instance.
+type ViewConfig struct {
+	// ID identifies the replica in the coherence directory (e.g.
+	// "vms@sd-2").
+	ID string
+	// Trust is the node's trust level: both the store ceiling and the
+	// key-escrow bound (the Factors clause TrustLevel=Node.TrustLevel).
+	Trust int
+	// Keys is the escrowed key ring; it must not hold keys above Trust.
+	Keys *seccrypto.KeyRing
+	// Upstream is the provider the view links to.
+	Upstream Upstream
+	// Policy is the coherence policy for local writes.
+	Policy coherence.Policy
+	// Conflicts, when non-nil, is the view's dynamic conflict map: an
+	// incoming operation that conflicts with pending local writes forces
+	// a flush first, giving read-your-writes through any replica
+	// ("coherence actions are triggered based on dynamic conflict
+	// maps"). A nil map never forces synchronization.
+	Conflicts *coherence.ConflictMap
+	// Clock provides time for timestamps and time-driven policies.
+	Clock transport.Clock
+	// Snapshot, when non-nil, seeds the view's store from a migrated
+	// instance's serialized state (Store.Snapshot); messages above the
+	// destination trust are shed on restore.
+	Snapshot []byte
+}
+
+// NewView builds a view instance. idBase offsets locally assigned
+// message IDs so replicas never collide with the primary or each other.
+func NewView(cfg ViewConfig, idBase uint64) (*View, error) {
+	if cfg.Trust < 1 {
+		return nil, fmt.Errorf("mail: view trust %d must be >= 1", cfg.Trust)
+	}
+	if cfg.Keys == nil || cfg.Keys.MaxLevelAllowed() > cfg.Trust {
+		return nil, fmt.Errorf("mail: view %q key escrow exceeds node trust %d", cfg.ID, cfg.Trust)
+	}
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("mail: view %q has no upstream", cfg.ID)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = coherence.WriteThrough{}
+	}
+	store := NewStore(cfg.Trust)
+	if cfg.Snapshot != nil {
+		restored, err := RestoreStore(cfg.Snapshot, cfg.Trust)
+		if err != nil {
+			return nil, fmt.Errorf("mail: view %q: %w", cfg.ID, err)
+		}
+		store = restored
+	}
+	store.nextID = idBase
+	v := &View{
+		id:        cfg.ID,
+		store:     store,
+		keys:      cfg.Keys,
+		clock:     cfg.Clock,
+		upstream:  cfg.Upstream,
+		conflicts: cfg.Conflicts,
+		trust:     cfg.Trust,
+	}
+	v.replica = coherence.NewReplica(cfg.ID, cfg.Policy, func(u coherence.Update) {
+		applyUpdate(store, u)
+	})
+	return v, nil
+}
+
+// Replica exposes the coherence agent for directory registration.
+func (v *View) Replica() *coherence.Replica { return v.replica }
+
+// Store exposes the view's partial store (for tests and tools).
+func (v *View) Store() *Store { return v.store }
+
+// Trust returns the view's factored trust level.
+func (v *View) Trust() int { return v.trust }
+
+// CreateAccount delegates account creation to the primary (keys are
+// generated there) and mirrors the account locally.
+func (v *View) CreateAccount(user string) error {
+	if err := v.upstream.CreateAccount(user); err != nil {
+		return err
+	}
+	v.store.EnsureAccount(user)
+	return nil
+}
+
+// Send files the message locally when its sensitivity is within the
+// node's trust (sealing with the escrowed key) and logs a coherence
+// write; messages above the ceiling are forwarded upstream untouched —
+// they must neither be stored nor sealed here ("this influences whether
+// or not messages of a given sensitivity level are sent to or stored in
+// the corresponding ViewMailServer"). The policy decides when pending
+// writes flush upstream.
+func (v *View) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	if !v.store.Admissible(sensitivity) {
+		return v.upstream.Send(from, to, subject, body, sensitivity)
+	}
+	m, err := sealMessage(v.keys, v.store, from, to, subject, body, sensitivity, v.clock.NowMS())
+	if err != nil {
+		return 0, err
+	}
+	v.store.EnsureAccount(m.To)
+	if err := deliver(v.store, m); err != nil {
+		return 0, err
+	}
+	data, err := encodeMessage(m)
+	if err != nil {
+		return 0, err
+	}
+	if v.replica.Write("send", m.To, data, v.clock.NowMS()) {
+		if err := v.Flush(); err != nil {
+			return 0, fmt.Errorf("mail: view flush: %w", err)
+		}
+	}
+	return m.ID, nil
+}
+
+// Receive serves the user's inbox from the local replica (the cache hit
+// path) and fetches only messages above the view's ceiling from
+// upstream — those are never stored locally.
+func (v *View) Receive(user string) ([]*Message, error) {
+	// A receive that conflicts with pending local writes (per the
+	// dynamic conflict map) synchronizes first, so the reader observes
+	// its replica's own recent sends at the primary and siblings.
+	if v.replica.StaleFor("receive", v.conflicts) {
+		if err := v.Flush(); err != nil {
+			return nil, fmt.Errorf("mail: conflict-driven flush: %w", err)
+		}
+	}
+	v.store.EnsureAccount(user)
+	local, err := receiveFrom(v.store, v.keys, user)
+	if err != nil {
+		return nil, err
+	}
+	if v.trust >= seccrypto.MaxLevel {
+		// Nothing can exceed the ceiling; the receive is fully local.
+		return local, nil
+	}
+	// High-sensitivity messages live only upstream.
+	remote, err := v.upstream.Receive(user)
+	if err != nil {
+		// The upstream may simply not know the user yet when nothing
+		// high-sensitivity was ever sent; local results still stand.
+		return local, nil
+	}
+	for _, m := range remote {
+		if m.Sensitivity > v.trust {
+			local = append(local, m)
+		}
+	}
+	return local, nil
+}
+
+// AddContact updates the local address book and logs a coherence write.
+func (v *View) AddContact(user, contact string) error {
+	v.store.EnsureAccount(user)
+	if err := v.store.AddContact(user, contact); err != nil {
+		return err
+	}
+	if v.replica.Write("addContact", user+"\x00"+contact, nil, v.clock.NowMS()) {
+		return v.Flush()
+	}
+	return nil
+}
+
+// Contacts reads the local address book.
+func (v *View) Contacts(user string) ([]string, error) {
+	return v.store.Contacts(user)
+}
+
+// Flush pushes all pending writes upstream immediately.
+func (v *View) Flush() error {
+	batch := v.replica.TakePending(v.clock.NowMS())
+	if len(batch) == 0 {
+		return nil
+	}
+	return v.upstream.PushUpdates(batch)
+}
+
+// FlushIfDue flushes when a time-driven policy's deadline has passed.
+// It reports whether a flush happened.
+func (v *View) FlushIfDue() (bool, error) {
+	deadline, ok := v.replica.NextDeadline()
+	if !ok || v.clock.NowMS() < deadline || v.replica.Pending() == 0 {
+		return false, nil
+	}
+	return true, v.Flush()
+}
+
+// Pending returns the number of unpropagated local writes.
+func (v *View) Pending() int { return v.replica.Pending() }
+
+// PushUpdates lets this view serve as the upstream of another view
+// (the Seattle-to-San-Diego chaining of Figure 6): the batch is applied
+// locally (subject to the sensitivity ceiling) and forwarded toward the
+// primary.
+func (v *View) PushUpdates(batch []coherence.Update) error {
+	v.replica.ApplyRemote(batch)
+	return v.upstream.PushUpdates(batch)
+}

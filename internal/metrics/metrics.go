@@ -1,0 +1,167 @@
+// Package metrics collects latency samples and renders the fixed-width
+// tables and series the experiment harness prints (the rows behind each
+// reproduced figure).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Recorder accumulates float64 samples (milliseconds by convention).
+// The zero value is ready to use. Recorder is not safe for concurrent
+// use; simulation code is single-threaded by construction and real-time
+// callers should shard per goroutine.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the arithmetic mean (0 for no samples).
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Min returns the smallest sample (0 for no samples).
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[0]
+}
+
+// Max returns the largest sample (0 for no samples).
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[len(r.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank; 0 for no samples.
+func (r *Recorder) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[len(r.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return r.samples[rank]
+}
+
+// Stddev returns the population standard deviation (0 for < 2 samples).
+func (r *Recorder) Stddev() float64 {
+	if len(r.samples) < 2 {
+		return 0
+	}
+	mean := r.Mean()
+	sum := 0.0
+	for _, v := range r.samples {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(r.samples)))
+}
+
+func (r *Recorder) sort() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Summary renders "mean=… p50=… p95=… max=… (n=…)".
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("mean=%.2f p50=%.2f p95=%.2f max=%.2f (n=%d)",
+		r.Mean(), r.Percentile(50), r.Percentile(95), r.Max(), r.Count())
+}
+
+// Table renders aligned experiment tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

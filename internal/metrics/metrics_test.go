@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderEmpty(t *testing.T) {
+	var r Recorder
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 ||
+		r.Percentile(50) != 0 || r.Stddev() != 0 {
+		t.Error("empty recorder must report zeros")
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	var r Recorder
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		r.Add(v)
+	}
+	if r.Count() != 5 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != 3 {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	if r.Min() != 1 || r.Max() != 5 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if got := r.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := r.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v", got)
+	}
+}
+
+func TestRecorderAddAfterSort(t *testing.T) {
+	var r Recorder
+	r.Add(5)
+	_ = r.Min() // forces a sort
+	r.Add(1)
+	if r.Min() != 1 {
+		t.Error("samples added after a sort must be observed")
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	var r Recorder
+	r.Add(2)
+	s := r.Summary()
+	for _, want := range []string{"mean=2.00", "p50=2.00", "n=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("scenario", "clients", "avg_ms")
+	tb.AddRow("DS500", 5, 52.25)
+	tb.AddRow("SS", 1, 205.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "scenario") || !strings.Contains(lines[0], "avg_ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "52.25") {
+		t.Errorf("row = %q", lines[2])
+	}
+	// Columns align: the "avg_ms" column starts at the same offset.
+	off0 := strings.Index(lines[0], "avg_ms")
+	off2 := strings.Index(lines[2], "52.25")
+	if off0 != off2 {
+		t.Errorf("column misaligned: %d vs %d\n%s", off0, off2, out)
+	}
+}
+
+// TestQuickPercentileMonotone: percentiles never decrease in p and stay
+// within [min, max].
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, aSeed, bSeed uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+			r.Add(v)
+		}
+		a := float64(aSeed) / 255 * 100
+		b := float64(bSeed) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := r.Percentile(a), r.Percentile(b)
+		return pa <= pb && pa >= r.Min() && pb <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMeanWithinBounds: the mean lies within [min, max].
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var r Recorder
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e300 {
+				return true // summation may overflow; out of scope
+			}
+			r.Add(v)
+		}
+		if r.Count() == 0 {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package netmodel models the network as the planner sees it
+// (HPDC'02, Section 3.3): a graph of nodes and links annotated with
+// resource characteristics (CPU capacity, bandwidth, latency) and
+// application-independent credentials. Credentials are translated into
+// service-specific properties by a service-supplied translation
+// function before planning.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partsvc/internal/property"
+)
+
+// NodeID identifies a node in the network.
+type NodeID string
+
+// Node is a host capable of running service components.
+type Node struct {
+	// ID is the node's unique identifier.
+	ID NodeID
+	// Site is an administrative grouping label (e.g. "NewYork").
+	Site string
+	// CPUCapacityRPS is the node's processing capacity expressed as the
+	// request rate it can sustain at 1 ms of CPU per request. Zero means
+	// unspecified (unbounded).
+	CPUCapacityRPS float64
+	// Credentials are application-independent attributes (e.g.
+	// "domain" = "example.com", "trust" = "partner"). The planner never
+	// interprets these directly; a translation function maps them to
+	// service properties.
+	Credentials map[string]string
+	// Props are the service-relevant properties of the node, produced by
+	// translation (e.g. TrustLevel=4). Conditions and factored
+	// expressions evaluate against this set.
+	Props property.Set
+}
+
+// Link is a (bidirectional) network link between two nodes.
+type Link struct {
+	// A and B are the endpoints.
+	A, B NodeID
+	// LatencyMS is the one-way propagation latency in milliseconds.
+	LatencyMS float64
+	// BandwidthMbps is the link capacity in megabits per second.
+	BandwidthMbps float64
+	// Secure records whether the link preserves confidentiality of the
+	// traffic it carries (an application-independent credential).
+	Secure bool
+	// Props are the service-relevant properties of the link environment
+	// after translation (e.g. Confidentiality=T).
+	Props property.Set
+}
+
+// TransferMS returns the time in milliseconds to push the given number
+// of bytes through the link (serialization delay only, no propagation).
+func (l Link) TransferMS(bytes int) float64 {
+	if l.BandwidthMbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	bits := float64(bytes) * 8
+	return bits / (l.BandwidthMbps * 1e6) * 1e3
+}
+
+// TranslationFunc converts application-independent node or link
+// credentials into service-specific properties (Section 3.3: "the
+// planner first needs to translate these credentials into properties
+// that the service cares about based on external service-specific
+// functions").
+type TranslationFunc func(credentials map[string]string) property.Set
+
+// Network is the planner's view of the environment: a static graph of
+// nodes and links. The zero value is an empty network ready for use.
+type Network struct {
+	nodes map[NodeID]*Node
+	links map[edgeKey]*Link
+	adj   map[NodeID][]NodeID
+}
+
+type edgeKey struct{ a, b NodeID }
+
+func canonical(a, b NodeID) edgeKey {
+	if b < a {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		nodes: map[NodeID]*Node{},
+		links: map[edgeKey]*Link{},
+		adj:   map[NodeID][]NodeID{},
+	}
+}
+
+// AddNode inserts a node; it returns an error on duplicate IDs.
+func (n *Network) AddNode(node Node) error {
+	if node.ID == "" {
+		return fmt.Errorf("netmodel: node with empty ID")
+	}
+	if _, dup := n.nodes[node.ID]; dup {
+		return fmt.Errorf("netmodel: duplicate node %q", node.ID)
+	}
+	if node.Props == nil {
+		node.Props = property.Set{}
+	}
+	n.nodes[node.ID] = &node
+	return nil
+}
+
+// AddLink inserts a bidirectional link; both endpoints must exist.
+func (n *Network) AddLink(link Link) error {
+	if _, ok := n.nodes[link.A]; !ok {
+		return fmt.Errorf("netmodel: link endpoint %q unknown", link.A)
+	}
+	if _, ok := n.nodes[link.B]; !ok {
+		return fmt.Errorf("netmodel: link endpoint %q unknown", link.B)
+	}
+	if link.A == link.B {
+		return fmt.Errorf("netmodel: self-link on %q", link.A)
+	}
+	key := canonical(link.A, link.B)
+	if _, dup := n.links[key]; dup {
+		return fmt.Errorf("netmodel: duplicate link %q-%q", link.A, link.B)
+	}
+	if link.Props == nil {
+		link.Props = property.Set{}
+	}
+	n.links[key] = &link
+	n.adj[link.A] = append(n.adj[link.A], link.B)
+	n.adj[link.B] = append(n.adj[link.B], link.A)
+	return nil
+}
+
+// Node returns the named node.
+func (n *Network) Node(id NodeID) (*Node, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}
+
+// Link returns the link between two nodes, in either direction.
+func (n *Network) Link(a, b NodeID) (*Link, bool) {
+	l, ok := n.links[canonical(a, b)]
+	return l, ok
+}
+
+// Nodes returns all nodes sorted by ID (deterministic iteration).
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		out = append(out, node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Links returns all links sorted by endpoint IDs.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := canonical(out[i].A, out[i].B), canonical(out[j].A, out[j].B)
+		if ki.a != kj.a {
+			return ki.a < kj.a
+		}
+		return ki.b < kj.b
+	})
+	return out
+}
+
+// Neighbors returns the IDs adjacent to a node, sorted.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	out := append([]NodeID(nil), n.adj[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumLinks returns the link count.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Translate applies translation functions to every node and link,
+// populating their Props from credentials. Existing explicitly-set
+// properties are preserved and take precedence over translated ones.
+func (n *Network) Translate(nodeFn, linkFn TranslationFunc) {
+	if nodeFn != nil {
+		for _, node := range n.nodes {
+			node.Props = nodeFn(node.Credentials).Merge(node.Props)
+		}
+	}
+	if linkFn != nil {
+		for _, l := range n.links {
+			creds := map[string]string{"secure": "F"}
+			if l.Secure {
+				creds["secure"] = "T"
+			}
+			l.Props = linkFn(creds).Merge(l.Props)
+		}
+	}
+}
+
+// Path is a sequence of nodes connected by links.
+type Path struct {
+	// Nodes lists the path's nodes, source first. A single-element path
+	// is a loopback (both components on the same node).
+	Nodes []NodeID
+	// LatencyMS is the summed one-way latency of the path's links.
+	LatencyMS float64
+	// BottleneckMbps is the minimum bandwidth along the path; +Inf for
+	// loopback paths.
+	BottleneckMbps float64
+}
+
+// IsLoopback reports whether the path stays on one node.
+func (p Path) IsLoopback() bool { return len(p.Nodes) <= 1 }
+
+// Env returns the aggregate service-property environment of the path:
+// the property-wise minimum across all links (a path is only as secure
+// or as trusted as its weakest link). Loopback paths return secureEnv,
+// the environment of intra-node communication supplied by the caller.
+func (p Path) Env(n *Network, secureEnv property.Set) property.Set {
+	if p.IsLoopback() {
+		return secureEnv.Clone()
+	}
+	var env property.Set
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		l, ok := n.Link(p.Nodes[i], p.Nodes[i+1])
+		if !ok {
+			return property.Set{}
+		}
+		if env == nil {
+			env = l.Props.Clone()
+			continue
+		}
+		for name, v := range env {
+			lv, ok := l.Props[name]
+			if !ok {
+				delete(env, name)
+				continue
+			}
+			m := property.Min(v, lv)
+			if !m.IsValid() {
+				delete(env, name)
+				continue
+			}
+			env[name] = m
+		}
+		for name := range l.Props {
+			if _, ok := env[name]; !ok {
+				delete(env, name)
+			}
+		}
+	}
+	if env == nil {
+		env = property.Set{}
+	}
+	return env
+}
+
+// ShortestPath returns the minimum-latency path between two nodes using
+// Dijkstra's algorithm. ok is false if no path exists.
+func (n *Network) ShortestPath(from, to NodeID) (Path, bool) {
+	if _, exists := n.nodes[from]; !exists {
+		return Path{}, false
+	}
+	if _, exists := n.nodes[to]; !exists {
+		return Path{}, false
+	}
+	if from == to {
+		return Path{Nodes: []NodeID{from}, BottleneckMbps: math.Inf(1)}, true
+	}
+	dist := map[NodeID]float64{from: 0}
+	prev := map[NodeID]NodeID{}
+	visited := map[NodeID]bool{}
+	for len(visited) < len(n.nodes) {
+		// Linear extraction keeps the implementation simple; planner
+		// networks are small (tens of nodes). Ties broken by ID for
+		// determinism.
+		var cur NodeID
+		best := math.Inf(1)
+		found := false
+		for id, d := range dist {
+			if visited[id] {
+				continue
+			}
+			if d < best || (d == best && (!found || id < cur)) {
+				best, cur, found = d, id, true
+			}
+		}
+		if !found {
+			break
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for _, nb := range n.adj[cur] {
+			if visited[nb] {
+				continue
+			}
+			l, _ := n.Link(cur, nb)
+			nd := dist[cur] + l.LatencyMS
+			// Strict improvement only: with zero-latency links an
+			// equal-distance rewrite could make prev cyclic. Extraction
+			// order is already deterministic (ties broken by node ID).
+			if d, seen := dist[nb]; !seen || nd < d {
+				dist[nb] = nd
+				prev[nb] = cur
+			}
+		}
+	}
+	if _, reached := dist[to]; !reached {
+		return Path{}, false
+	}
+	var nodes []NodeID
+	for at := to; ; {
+		nodes = append(nodes, at)
+		if at == from {
+			break
+		}
+		at = prev[at]
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	p := Path{Nodes: nodes, LatencyMS: dist[to], BottleneckMbps: math.Inf(1)}
+	for i := 0; i+1 < len(nodes); i++ {
+		l, _ := n.Link(nodes[i], nodes[i+1])
+		if l.BandwidthMbps < p.BottleneckMbps {
+			p.BottleneckMbps = l.BandwidthMbps
+		}
+	}
+	return p, true
+}
+
+// NodesBySite returns the IDs of all nodes in the given site, sorted.
+func (n *Network) NodesBySite(site string) []NodeID {
+	var out []NodeID
+	for _, node := range n.Nodes() {
+		if node.Site == site {
+			out = append(out, node.ID)
+		}
+	}
+	return out
+}

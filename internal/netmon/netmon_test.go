@@ -1,0 +1,239 @@
+package netmon
+
+import (
+	"strings"
+	"testing"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/planner"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+	"partsvc/internal/trust"
+)
+
+func TestReportNodePropsNotifiesOnRealChangesOnly(t *testing.T) {
+	net := topology.CaseStudy()
+	m := New(net)
+	var got []Change
+	m.Subscribe(func(cs []Change) { got = append(got, cs...) })
+
+	// Same value: no notification.
+	if err := m.ReportNodeProps(topology.SDClient, property.Set{"TrustLevel": property.Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("no-op report must not notify: %v", got)
+	}
+	// Real change: notification + applied.
+	if err := m.ReportNodeProps(topology.SDClient, property.Set{"TrustLevel": property.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Field != "TrustLevel" || got[0].New != "1" || got[0].Old != "4" {
+		t.Fatalf("changes = %v", got)
+	}
+	n, _ := net.Node(topology.SDClient)
+	if !n.Props["TrustLevel"].Equal(property.Int(1)) {
+		t.Error("change not applied to the network")
+	}
+	if err := m.ReportNodeProps("ghost", nil); err == nil {
+		t.Error("unknown node must error")
+	}
+}
+
+func TestReportLink(t *testing.T) {
+	net := topology.CaseStudy()
+	m := New(net)
+	var got []Change
+	m.Subscribe(func(cs []Change) { got = append(got, cs...) })
+
+	secure := true
+	if err := m.ReportLink(topology.NYServer, topology.SDGateway, 150, -1, &secure); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("changes = %v", got)
+	}
+	l, _ := net.Link(topology.NYServer, topology.SDGateway)
+	if l.LatencyMS != 150 || !l.Secure || l.BandwidthMbps != 20 {
+		t.Errorf("link state = %+v", l)
+	}
+	if !l.Props["Confidentiality"].Equal(property.Bool(true)) {
+		t.Error("security change must update the link's property environment")
+	}
+	if err := m.ReportLink("ghost", "ny-1", 1, 1, nil); err == nil {
+		t.Error("unknown link must error")
+	}
+	// Change strings are readable.
+	if !strings.Contains(got[0].String(), "ny-1~sd-1") {
+		t.Errorf("change string = %q", got[0])
+	}
+}
+
+func TestMultipleSubscribersInOrder(t *testing.T) {
+	net := topology.CaseStudy()
+	m := New(net)
+	var order []string
+	m.Subscribe(func([]Change) { order = append(order, "first") })
+	m.Subscribe(func([]Change) { order = append(order, "second") })
+	if err := m.ReportNodeProps(topology.SDClient, property.Set{"TrustLevel": property.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// TestRetranslateWithdrawsRevokedProperties: re-running credential
+// translation replaces and withdraws stale properties.
+func TestRetranslate(t *testing.T) {
+	net := netmodel.New()
+	if err := net.AddNode(netmodel.Node{
+		ID: "n1", Credentials: map[string]string{"trust": "4"},
+		Props: property.Set{"TrustLevel": property.Int(4), "Legacy": property.Bool(true)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(net)
+	var got []Change
+	m.Subscribe(func(cs []Change) { got = append(got, cs...) })
+
+	nodeFn := func(creds map[string]string) property.Set {
+		return property.Set{"TrustLevel": property.Parse(creds["trust"])}
+	}
+	// Simulate a downgrade: the credential now says trust 2.
+	n, _ := net.Node("n1")
+	n.Credentials["trust"] = "2"
+	m.Retranslate(nodeFn)
+
+	if !n.Props["TrustLevel"].Equal(property.Int(2)) {
+		t.Errorf("trust not replaced: %v", n.Props)
+	}
+	if _, still := n.Props["Legacy"]; still {
+		t.Error("withdrawn property must be removed")
+	}
+	fields := map[string]bool{}
+	for _, c := range got {
+		fields[c.Field] = true
+	}
+	if !fields["TrustLevel"] || !fields["Legacy"] {
+		t.Errorf("changes = %v", got)
+	}
+}
+
+// TestAdaptationLoopWithTrustRevocation closes the Section 6 circle:
+// dRBAC revocation -> re-translation -> monitor notification -> replan.
+// Revoking the partner org's delegatable credential strips Seattle's
+// trust, evicting its view and forcing the partner client onto a plan
+// that does not cache there.
+func TestAdaptationLoopWithTrustRevocation(t *testing.T) {
+	// Trust structure as credentials.
+	store := trust.NewStore()
+	pi := trust.NewPropertyIssuer(store)
+	for lvl := 2; lvl <= 5; lvl++ {
+		pi.MapRole(trust.Role("mailcorp.trust"+string(rune('0'+lvl))),
+			property.Set{"TrustLevel": property.Int(int64(lvl))})
+	}
+	must := func(c trust.Credential) {
+		t.Helper()
+		if err := store.Issue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"ny-1", "ny-2", "ny-3"} {
+		must(trust.Credential{Subject: n, Role: "mailcorp.trust5", Issuer: "mailcorp"})
+	}
+	for _, n := range []string{"sd-1", "sd-2"} {
+		must(trust.Credential{Subject: n, Role: "mailcorp.trust4", Issuer: "mailcorp"})
+	}
+	must(trust.Credential{Subject: "partner", Role: "mailcorp.trust2", Issuer: "mailcorp", Delegatable: true})
+	for _, n := range []string{"sea-1", "sea-2"} {
+		must(trust.Credential{Subject: n, Role: "mailcorp.trust2", Issuer: "partner"})
+	}
+
+	net := topology.CaseStudy()
+	for _, node := range net.Nodes() {
+		node.Credentials = map[string]string{"entity": string(node.ID)}
+		delete(node.Props, "TrustLevel")
+	}
+	net.Translate(pi.NodeTranslation(), nil)
+
+	pl := planner.New(spec.MailService(), net)
+	ms, err := pl.PrimaryPlacement(spec.CompMailServer, topology.NYServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(ms)
+	seaReq := planner.Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50,
+	}
+	old, err := pl.Plan(seaReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(old.Placements...)
+	hasSeaView := false
+	for _, p := range old.Placements {
+		if p.Component == spec.CompViewMailServer && p.Node == topology.SeaClient {
+			hasSeaView = true
+		}
+	}
+	if !hasSeaView {
+		t.Fatalf("initial Seattle plan must cache locally: %s", old)
+	}
+
+	// The adaptation loop: monitor subscribes the replanner.
+	mon := New(net)
+	var notified []Change
+	mon.Subscribe(func(cs []Change) { notified = append(notified, cs...) })
+
+	// dRBAC revocation: the partner loses its delegation, so Seattle's
+	// chains no longer prove trust2.
+	if n := store.Revoke("partner", "mailcorp.trust2"); n != 1 {
+		t.Fatalf("revoked %d credentials", n)
+	}
+	mon.Retranslate(pi.NodeTranslation())
+	if len(notified) == 0 {
+		t.Fatal("revocation must surface as property changes")
+	}
+
+	// With every Seattle trust credential gone, the site cannot host or
+	// even head a deployment: the replan fails — service is correctly
+	// denied to the now-untrusted site — and the eviction pass drops the
+	// Seattle view from the reuse set.
+	if _, err := pl.Replan(old, seaReq); err == nil {
+		t.Fatal("replan must fail while Seattle holds no trust credential")
+	}
+	evictedView := false
+	for _, p := range pl.Existing {
+		if p.Component == spec.CompViewMailServer && p.Node == topology.SeaClient {
+			evictedView = true
+		}
+	}
+	if evictedView {
+		t.Error("the Seattle view must have been evicted from the reuse set")
+	}
+
+	// Recovery: mailcorp certifies the Seattle nodes directly; the
+	// monitor re-translates and the replanner restores local caching.
+	for _, n := range []string{"sea-1", "sea-2"} {
+		must(trust.Credential{Subject: n, Role: "mailcorp.trust2", Issuer: "mailcorp"})
+	}
+	mon.Retranslate(pi.NodeTranslation())
+	diff, err := pl.Replan(old, seaReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := false
+	for _, p := range diff.New.Placements {
+		if p.Component == spec.CompViewMailServer && p.Node == topology.SeaClient {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Errorf("re-issued credentials must restore Seattle caching: %s", diff.New)
+	}
+	if err := pl.Verify(diff.New, seaReq); err != nil {
+		t.Errorf("replanned deployment invalid: %v", err)
+	}
+}

@@ -1,0 +1,413 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/property"
+)
+
+// PlanDP satisfies a request with the dynamic-programming chain mapper
+// described in the CANS work the paper cites for the all-chains case
+// (Section 3.3): instead of enumerating every node assignment, it
+// memoizes, per (chain position, node), the Pareto-optimal ways to
+// complete the chain — keyed by the effective property set offered
+// upstream — and stitches the best completion onto the pinned head.
+//
+// The DP relaxes one global constraint (node CPU aggregation across
+// co-located components is checked only on the final candidate), so
+// every DP-selected assignment is re-validated exactly; if validation
+// fails, the planner falls back to exhaustive search for that chain.
+// Results are therefore always identical in feasibility to Plan, and
+// identical in choice under the MinLatency and MinCost objectives
+// (MaxCapacity requires whole-deployment headroom and always falls
+// back).
+func (pl *Planner) PlanDP(req Request) (*Deployment, error) {
+	pl.stats = Stats{}
+	if _, ok := pl.Net.Node(req.ClientNode); !ok {
+		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
+	}
+	if _, ok := pl.Service.Interface(req.Interface); !ok {
+		return nil, fmt.Errorf("planner: interface %q not in service %q", req.Interface, pl.Service.Name)
+	}
+	if req.Objective == MaxCapacity {
+		return pl.Plan(req)
+	}
+	chains := pl.EnumerateChains(req.Interface)
+	pl.stats.ChainsEnumerated = len(chains)
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("planner: no component chain implements %q", req.Interface)
+	}
+	var best *Deployment
+	for _, chain := range chains {
+		dep := pl.dpChain(chain, req)
+		if dep == nil {
+			continue
+		}
+		if best == nil || pl.better(req.Objective, dep, best) {
+			best = dep
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("planner: no valid mapping for %q from %s (DP)", req.Interface, req.ClientNode)
+	}
+	return best, nil
+}
+
+// dpOpt is one Pareto-optimal way to realize chain positions pos..k.
+type dpOpt struct {
+	// places are the tail placements, places[0] at position pos.
+	places []Placement
+	// offers is the effective property set offered to position pos-1.
+	offers property.Set
+	// upLat is the expected latency per request arriving at position
+	// pos, contributed by all linkages from pos onward.
+	upLat float64
+	// newComps counts non-reused placements in the tail.
+	newComps int
+	// cachingIDs fingerprints the caching (RRF<1) component
+	// configurations used by the tail, for the duplicate-replica rule.
+	cachingIDs map[string]bool
+}
+
+// dpChain maps one chain with tail-to-head dynamic programming.
+func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
+	if chain[0].isAnchor() {
+		return nil
+	}
+	head, ok := pl.placementFor(chain[0].comp, req.ClientNode, req, 0)
+	if !ok {
+		pl.stats.RejectedConditions++
+		return nil
+	}
+	if anchor, found := pl.anchorFor(head.Component, head.Node, head.Config); found {
+		head = anchor
+	}
+	if len(chain) == 1 {
+		places := []Placement{head}
+		return pl.validate(chain, places, req)
+	}
+
+	k := len(chain) - 1
+	memo := make(map[int]map[netmodel.NodeID][]dpOpt)
+
+	// options returns the Pareto set for placing chain[pos..k] with
+	// chain[pos] at the given node.
+	var options func(pos int, node netmodel.NodeID) []dpOpt
+	options = func(pos int, node netmodel.NodeID) []dpOpt {
+		if byNode, ok := memo[pos]; ok {
+			if opts, ok := byNode[node]; ok {
+				return opts
+			}
+		} else {
+			memo[pos] = map[netmodel.NodeID][]dpOpt{}
+		}
+		var out []dpOpt
+		defer func() { memo[pos][node] = out }()
+
+		place, ok := pl.candidateAt(chain, pos, node, req)
+		if !ok {
+			return out
+		}
+		caching := chain[pos].comp.Behaviors.EffectiveRRF() < 1
+		selfID := place.Component + "{" + place.Config.Fingerprint() + "}"
+
+		if pos == k {
+			opt := dpOpt{places: []Placement{place}, cachingIDs: map[string]bool{}}
+			if chain[k].isAnchor() {
+				opt.offers = chain[k].anchor.Offers.Clone()
+				opt.upLat = chain[k].anchor.UpstreamMS
+			} else {
+				tailImpl, _ := chain[k].comp.ImplementsInterface(chain.linkIface(k - 1))
+				offers, err := tailImpl.EvalProps(pl.scopeAt(place))
+				if err != nil {
+					return out
+				}
+				opt.offers = offers
+			}
+			if !place.Reused {
+				opt.newComps = 1
+			}
+			if caching {
+				opt.cachingIDs[selfID] = true
+			}
+			out = append(out, opt)
+			return out
+		}
+
+		reqProps, err := chain[pos].comp.Requires[0].EvalProps(pl.scopeAt(place))
+		if err != nil {
+			return out
+		}
+		rrf := chain[pos].comp.Behaviors.EffectiveRRF()
+
+		for _, next := range pl.nextNodes(chain, pos+1) {
+			path, ok := pl.Net.ShortestPath(node, next)
+			if !ok {
+				pl.stats.RejectedNoPath++
+				continue
+			}
+			env := path.Env(pl.Net, pl.LoopbackEnv)
+			for _, tail := range options(pos+1, next) {
+				pl.stats.MappingsTried++
+				// Duplicate-instance and duplicate-replica rules.
+				if conflicts(place, tail, caching, selfID) {
+					continue
+				}
+				received, err := pl.Service.ModRules.ApplySet(tail.offers, env)
+				if err != nil {
+					continue
+				}
+				if !received.Satisfies(reqProps) {
+					pl.stats.RejectedProps++
+					continue
+				}
+				hop := pl.edgeHop(chain, pos, path)
+				opt := dpOpt{
+					places:     append([]Placement{place}, tail.places...),
+					offers:     pl.offerThrough(chain, pos, place, received),
+					upLat:      rrf * (hop + tail.upLat),
+					newComps:   tail.newComps,
+					cachingIDs: tail.cachingIDs,
+				}
+				if caching {
+					ids := make(map[string]bool, len(tail.cachingIDs)+1)
+					for id := range tail.cachingIDs {
+						ids[id] = true
+					}
+					ids[selfID] = true
+					opt.cachingIDs = ids
+				}
+				if !place.Reused {
+					opt.newComps++
+				}
+				out = append(out, opt)
+			}
+		}
+		out = paretoPrune(out)
+		return out
+	}
+
+	var bestOpt *dpOpt
+	reqProps, err := chain[0].comp.Requires[0].EvalProps(pl.scopeAt(head))
+	if err != nil {
+		return nil
+	}
+	headCaching := chain[0].comp.Behaviors.EffectiveRRF() < 1
+	headID := head.Component + "{" + head.Config.Fingerprint() + "}"
+	for _, next := range pl.nextNodes(chain, 1) {
+		path, ok := pl.Net.ShortestPath(head.Node, next)
+		if !ok {
+			continue
+		}
+		env := path.Env(pl.Net, pl.LoopbackEnv)
+		for _, tail := range options(1, next) {
+			if conflicts(head, tail, headCaching, headID) {
+				continue
+			}
+			received, err := pl.Service.ModRules.ApplySet(tail.offers, env)
+			if err != nil || !received.Satisfies(reqProps) {
+				continue
+			}
+			hop := pl.edgeHop(chain, 0, path)
+			opt := tail
+			opt.places = append([]Placement{head}, tail.places...)
+			opt.upLat = chain[0].comp.Behaviors.EffectiveRRF() * (hop + tail.upLat)
+			if !head.Reused {
+				opt.newComps++
+			}
+			if bestOpt == nil || pl.dpBetter(req.Objective, opt, *bestOpt) {
+				o := opt
+				bestOpt = &o
+			}
+		}
+	}
+	if bestOpt == nil {
+		return nil
+	}
+	// Exact re-validation; on failure (e.g. CPU aggregation the DP does
+	// not model) fall back to the exhaustive mapper for this chain.
+	if dep := pl.validate(chain, bestOpt.places, req); dep != nil {
+		return dep
+	}
+	return pl.mapChain(chain, req)
+}
+
+// candidateAt builds the placement for chain[pos] at a node, honoring
+// anchor pinning, the stateful-primary singleton rule, and deployment
+// conditions.
+func (pl *Planner) candidateAt(chain Chain, pos int, node netmodel.NodeID, req Request) (Placement, bool) {
+	elem := chain[pos]
+	if elem.isAnchor() {
+		if elem.anchor.Node != node {
+			return Placement{}, false
+		}
+		p := *elem.anchor
+		p.Reused = true
+		return p, true
+	}
+	if pl.isStatefulPrimary(elem.comp) && pl.hasAnyInstance(elem.comp.Name) {
+		for _, e := range pl.Existing {
+			if e.Component == elem.comp.Name && e.Node == node {
+				p := e
+				p.Reused = true
+				return p, true
+			}
+		}
+		return Placement{}, false
+	}
+	p, ok := pl.placementFor(elem.comp, node, req, pos)
+	if !ok {
+		pl.stats.RejectedConditions++
+		return Placement{}, false
+	}
+	if anchor, found := pl.anchorFor(p.Component, p.Node, p.Config); found {
+		p = anchor
+	}
+	return p, true
+}
+
+// nextNodes lists candidate nodes for a chain position: the whole
+// network for instantiable components, the pinned node for anchors and
+// existing stateful primaries.
+func (pl *Planner) nextNodes(chain Chain, pos int) []netmodel.NodeID {
+	elem := chain[pos]
+	if elem.isAnchor() {
+		return []netmodel.NodeID{elem.anchor.Node}
+	}
+	if pl.isStatefulPrimary(elem.comp) && pl.hasAnyInstance(elem.comp.Name) {
+		var out []netmodel.NodeID
+		for _, e := range pl.Existing {
+			if e.Component == elem.comp.Name {
+				out = append(out, e.Node)
+			}
+		}
+		return out
+	}
+	ids := make([]netmodel.NodeID, 0, pl.Net.NumNodes())
+	for _, n := range pl.Net.Nodes() {
+		ids = append(ids, n.ID)
+	}
+	return ids
+}
+
+// edgeHop computes the latency cost of the linkage leaving position pos:
+// round-trip propagation, serialization, and the provider's service
+// time (anchor upstream residuals are carried in dpOpt.upLat instead).
+func (pl *Planner) edgeHop(chain Chain, pos int, path netmodel.Path) float64 {
+	provider := chain[pos+1].comp.Behaviors
+	hop := 2*path.LatencyMS + provider.CPUMSPerRequest
+	if !path.IsLoopback() && path.BottleneckMbps > 0 && !math.IsInf(path.BottleneckMbps, 1) {
+		bits := float64(provider.RequestBytes+provider.ResponseBytes) * 8
+		hop += bits / (path.BottleneckMbps * 1e6) * 1e3
+	}
+	return hop
+}
+
+// offerThrough computes what the component at pos offers to pos-1:
+// received properties restricted to the linking interface's declaration,
+// overlaid with its own generated properties.
+func (pl *Planner) offerThrough(chain Chain, pos int, place Placement, received property.Set) property.Set {
+	iface := chain.linkIface(pos - 1)
+	decl, _ := pl.Service.Interface(iface)
+	next := property.Set{}
+	for name, v := range received {
+		if decl.HasProperty(name) {
+			next[name] = v
+		}
+	}
+	impl, _ := chain[pos].comp.ImplementsInterface(iface)
+	gen, err := impl.EvalProps(pl.scopeAt(place))
+	if err != nil {
+		return next
+	}
+	return next.Merge(gen)
+}
+
+// conflicts applies the duplicate-instance and duplicate-replica rules
+// between a candidate placement and a tail option.
+func conflicts(p Placement, tail dpOpt, caching bool, selfID string) bool {
+	if caching && tail.cachingIDs[selfID] {
+		return true
+	}
+	key := p.Key()
+	for _, tp := range tail.places {
+		if tp.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// dpBetter orders head options under the objective.
+func (pl *Planner) dpBetter(o Objective, a, b dpOpt) bool {
+	var ka, kb [2]float64
+	switch o {
+	case MinCost:
+		ka = [2]float64{float64(a.newComps), a.upLat}
+		kb = [2]float64{float64(b.newComps), b.upLat}
+	default:
+		ka = [2]float64{a.upLat + pl.DeployPenaltyMS*float64(a.newComps), float64(a.newComps)}
+		kb = [2]float64{b.upLat + pl.DeployPenaltyMS*float64(b.newComps), float64(b.newComps)}
+	}
+	const eps = 1e-9
+	if math.Abs(ka[0]-kb[0]) > eps {
+		return ka[0] < kb[0]
+	}
+	if math.Abs(ka[1]-kb[1]) > eps {
+		return ka[1] < kb[1]
+	}
+	return placesString(a.places) < placesString(b.places)
+}
+
+func placesString(ps []Placement) string {
+	s := ""
+	for _, p := range ps {
+		s += p.String() + ">"
+	}
+	return s
+}
+
+// paretoPrune keeps, within each (offers, cachingIDs) group, only the
+// options not dominated in (upLat, newComps).
+func paretoPrune(opts []dpOpt) []dpOpt {
+	groups := map[string][]dpOpt{}
+	for _, o := range opts {
+		ids := make([]string, 0, len(o.cachingIDs))
+		for id := range o.cachingIDs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		key := o.offers.Fingerprint() + "|" + fmt.Sprint(ids)
+		groups[key] = append(groups[key], o)
+	}
+	var out []dpOpt
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		for i, a := range g {
+			dominated := false
+			for j, b := range g {
+				if i == j {
+					continue
+				}
+				if b.upLat <= a.upLat+1e-12 && b.newComps <= a.newComps &&
+					(b.upLat < a.upLat-1e-12 || b.newComps < a.newComps ||
+						(b.upLat == a.upLat && b.newComps == a.newComps && j < i)) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

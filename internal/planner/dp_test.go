@@ -1,0 +1,165 @@
+package planner
+
+import (
+	"testing"
+
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// TestDPMatchesExhaustiveCaseStudy: the DP planner produces exactly the
+// deployments of the exhaustive planner for all three Figure 6 requests
+// (ablation A1's correctness half).
+func TestDPMatchesExhaustiveCaseStudy(t *testing.T) {
+	requests := []Request{
+		{Interface: spec.IfaceClient, ClientNode: topology.NYClient, User: "Alice", RateRPS: 50},
+		{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50},
+		{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50},
+	}
+	exh := caseStudyPlanner(t)
+	dp := caseStudyPlanner(t)
+	for i, req := range requests {
+		want := planOrFail(t, exh, req)
+		got, err := dp.PlanDP(req)
+		if err != nil {
+			t.Fatalf("request %d: PlanDP: %v", i, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("request %d:\n  exhaustive: %s\n  dp:         %s", i, want, got)
+		}
+		if diff := got.ExpectedLatencyMS - want.ExpectedLatencyMS; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("request %d: latency %v (dp) vs %v (exhaustive)", i, got.ExpectedLatencyMS, want.ExpectedLatencyMS)
+		}
+		// Register results in both planners to keep their worlds aligned.
+		exh.AddExisting(want.Placements...)
+		dp.AddExisting(got.Placements...)
+	}
+}
+
+// TestDPMatchesExhaustiveMinCost: equality also holds under MinCost.
+func TestDPMatchesExhaustiveMinCost(t *testing.T) {
+	req := Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SDClient,
+		User: "Alice", RateRPS: 200, Objective: MinCost,
+	}
+	want := planOrFail(t, caseStudyPlanner(t), req)
+	got, err := caseStudyPlanner(t).PlanDP(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("min-cost:\n  exhaustive: %s\n  dp:         %s", want, got)
+	}
+}
+
+// TestDPMaxCapacityFallsBack: the MaxCapacity objective needs
+// whole-deployment headroom and delegates to the exhaustive search.
+func TestDPMaxCapacityFallsBack(t *testing.T) {
+	req := Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SDClient,
+		User: "Alice", RateRPS: 50, Objective: MaxCapacity,
+	}
+	want := planOrFail(t, caseStudyPlanner(t), req)
+	got, err := caseStudyPlanner(t).PlanDP(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("max-capacity:\n  exhaustive: %s\n  dp: %s", want, got)
+	}
+}
+
+// TestDPFasterSearch: the DP examines far fewer assignments than the
+// exhaustive mapper on the same request (A1's speedup half; the wall
+// clock comparison lives in the benchmark suite).
+func TestDPFasterSearch(t *testing.T) {
+	req := Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50}
+	exh := caseStudyPlanner(t)
+	planOrFail(t, exh, req)
+	exhTried := exh.Stats().MappingsTried
+
+	dp := caseStudyPlanner(t)
+	if _, err := dp.PlanDP(req); err != nil {
+		t.Fatal(err)
+	}
+	dpTried := dp.Stats().MappingsTried
+	if dpTried == 0 {
+		t.Fatal("DP stats not populated")
+	}
+	if dpTried*2 > exhTried {
+		t.Errorf("DP should examine far fewer combinations: dp=%d exhaustive=%d", dpTried, exhTried)
+	}
+}
+
+// TestDPErrors mirrors Plan's validation errors.
+func TestDPErrors(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	if _, err := pl.PlanDP(Request{Interface: spec.IfaceClient, ClientNode: "ghost"}); err == nil {
+		t.Error("unknown client node must fail")
+	}
+	if _, err := pl.PlanDP(Request{Interface: "Ghost", ClientNode: topology.NYClient}); err == nil {
+		t.Error("unknown interface must fail")
+	}
+	if _, err := pl.PlanDP(Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 1e9}); err == nil {
+		t.Error("infeasible rate must fail")
+	}
+}
+
+// TestDPSeattleIncremental: the incremental Seattle plan via DP also
+// attaches to the San Diego view.
+func TestDPSeattleIncremental(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	sd, err := pl.PlanDP(Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(sd.Placements...)
+	sea, err := pl.PlanDP(Request{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := sea.Placements[len(sea.Placements)-1]
+	if tail.Component != spec.CompViewMailServer || tail.Node != topology.SDClient || !tail.Reused {
+		t.Errorf("Seattle DP plan must terminate at the SD view: %s", sea)
+	}
+}
+
+// TestDPMatchesExhaustiveOnRandomNets: on random Waxman networks the
+// two mappers agree on feasibility and, when feasible, on the chosen
+// deployment (A1's correctness claim beyond the case study).
+func TestDPMatchesExhaustiveOnRandomNets(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		net, err := topology.Waxman(topology.DefaultWaxman(8, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := net.Nodes()
+		nodes[0].Props["TrustLevel"] = property.Int(5)
+
+		build := func() *Planner {
+			pl := New(spec.MailService(), net)
+			ms, err := pl.PrimaryPlacement(spec.CompMailServer, nodes[0].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.AddExisting(ms)
+			return pl
+		}
+		req := Request{
+			Interface: spec.IfaceClient, ClientNode: nodes[2].ID, User: "Alice", RateRPS: 10,
+		}
+		exh, errA := build().Plan(req)
+		dp, errB := build().PlanDP(req)
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("seed %d: feasibility disagrees: exhaustive=%v dp=%v", seed, errA, errB)
+			continue
+		}
+		if errA != nil {
+			continue
+		}
+		if exh.String() != dp.String() {
+			t.Errorf("seed %d:\n  exhaustive: %s\n  dp:         %s", seed, exh, dp)
+		}
+	}
+}

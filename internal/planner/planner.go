@@ -1,0 +1,404 @@
+// Package planner implements the planning module of the partitionable
+// services framework (HPDC'02, Section 3.3): given a declarative service
+// specification and the current network state, it determines which
+// components to instantiate, with which factored configurations, at
+// which nodes, so that a client request for a service interface is
+// satisfied and a global objective is optimized.
+//
+// Planning proceeds in the paper's two logical steps: (1) enumerate the
+// valid linkage graphs of components that can satisfy the request
+// (Figure 3), and (2) map each graph onto the network, discarding
+// mappings that violate any of the three validity conditions —
+// deployment conditions, property compatibility under the environment's
+// modification rules, and load versus node/link capacity. Three
+// planner variants are provided: the exhaustive search of the paper's
+// implementation, the CANS dynamic-programming chain planner it cites,
+// and a backtracking planner for tree-shaped component graphs.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+)
+
+// Objective selects the global metric the planner optimizes
+// ("maximum capacity, minimum deployment cost, etc.").
+type Objective int
+
+const (
+	// MinLatency minimizes the expected client-perceived request
+	// latency; ties are broken by deployment cost.
+	MinLatency Objective = iota
+	// MinCost minimizes the number of newly deployed components; ties
+	// are broken by expected latency.
+	MinCost
+	// MaxCapacity maximizes the sustainable request rate (the smallest
+	// capacity headroom along the chain); ties broken by latency.
+	MaxCapacity
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinLatency:
+		return "min-latency"
+	case MinCost:
+		return "min-cost"
+	case MaxCapacity:
+		return "max-capacity"
+	}
+	return "unknown"
+}
+
+// Request is a client request for service interfaces, carried from the
+// generic proxy to the planner together with supporting credentials.
+type Request struct {
+	// Interface is the requested service interface (e.g.
+	// "ClientInterface").
+	Interface string
+	// ClientNode is the node from which the client operates; the head
+	// component of the deployment is pinned there.
+	ClientNode netmodel.NodeID
+	// User is the requesting principal, exposed to head-component
+	// deployment conditions as the User property.
+	User string
+	// RequireProps, when non-nil, adds property requirements on the
+	// requested interface itself (client QoS expectations).
+	RequireProps property.Set
+	// RateRPS is the expected request rate from this client, used by the
+	// load validity condition. Zero disables load checking for the
+	// request.
+	RateRPS float64
+	// Objective selects the optimization goal; the zero value is
+	// MinLatency.
+	Objective Objective
+}
+
+// Placement instantiates one component at one node.
+type Placement struct {
+	// Component is the component (or view) name from the specification.
+	Component string
+	// Node is where it runs.
+	Node netmodel.NodeID
+	// Config holds the factored property bindings of this instance
+	// (e.g. TrustLevel=2 for a ViewMailServer on a partner node).
+	Config property.Set
+	// Offers records the effective property set the instance offers to
+	// clients linking to it, computed during validation. For existing
+	// instances registered with the planner, Offers is what incremental
+	// plans link against.
+	Offers property.Set
+	// UpstreamMS is the expected additional latency, per request
+	// arriving at this instance, incurred by its already-deployed
+	// upstream linkage (its cache misses continuing toward the primary).
+	// Incremental plans that terminate at this instance charge it on the
+	// final hop.
+	UpstreamMS float64
+	// Reused marks a placement satisfied by an already-deployed
+	// instance rather than a new installation.
+	Reused bool
+}
+
+// Key returns a stable identity for the placement (component, node and
+// factored configuration), used to recognize reusable instances.
+func (p Placement) Key() string {
+	return p.Component + "@" + string(p.Node) + "{" + p.Config.Fingerprint() + "}"
+}
+
+// String renders the placement compactly.
+func (p Placement) String() string {
+	s := fmt.Sprintf("%s@%s", p.Component, p.Node)
+	if len(p.Config) > 0 {
+		s += "{" + p.Config.Fingerprint() + "}"
+	}
+	if p.Reused {
+		s += "*"
+	}
+	return s
+}
+
+// Edge connects two placements in deployment order: From is the
+// client-side component, To its provider; Path is the network route the
+// linkage uses.
+type Edge struct {
+	From, To int
+	Path     netmodel.Path
+}
+
+// Deployment is a validated mapping of a linkage chain onto the network.
+type Deployment struct {
+	// Placements lists component instances head (client side) first.
+	Placements []Placement
+	// Edges connects consecutive placements.
+	Edges []Edge
+	// ExpectedLatencyMS is the expected client-perceived request
+	// latency: per-edge round-trip and service costs weighted by the
+	// probability the request reaches that edge (the product of
+	// upstream RRFs).
+	ExpectedLatencyMS float64
+	// NewComponents counts placements that are not reused.
+	NewComponents int
+	// CapacityRPS is the maximum request rate the deployment can
+	// sustain (minimum headroom across components, nodes, and links);
+	// +Inf when nothing binds.
+	CapacityRPS float64
+}
+
+// Chain returns the component names of the deployment, head first.
+func (d Deployment) Chain() []string {
+	out := make([]string, len(d.Placements))
+	for i, p := range d.Placements {
+		out[i] = p.Component
+	}
+	return out
+}
+
+// String renders the deployment as "MC@sd-2 -> VMS@sd-2{...} -> ...".
+func (d Deployment) String() string {
+	parts := make([]string, len(d.Placements))
+	for i, p := range d.Placements {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Stats accumulates search statistics, reported for visibility into
+// planner behavior and used by tests that assert rejection reasons.
+type Stats struct {
+	// ChainsEnumerated is the number of valid linkage chains found in
+	// step 1.
+	ChainsEnumerated int
+	// MappingsTried is the number of complete node assignments examined.
+	MappingsTried int
+	// RejectedConditions counts assignments rejected by deployment
+	// conditions (validity condition 1).
+	RejectedConditions int
+	// RejectedProps counts assignments rejected by property
+	// compatibility (validity condition 2).
+	RejectedProps int
+	// RejectedLoad counts assignments rejected by the load check
+	// (validity condition 3).
+	RejectedLoad int
+	// RejectedNoPath counts assignments with no network route between
+	// linked components.
+	RejectedNoPath int
+}
+
+// Planner binds a service specification to a network and plans
+// deployments for client requests. The current implementation mirrors
+// the paper's assumptions: the network is static and properties remain
+// fixed over the lifetime of a deployment.
+type Planner struct {
+	// Service is the declarative specification.
+	Service *spec.Service
+	// Net is the planner's view of the network.
+	Net *netmodel.Network
+	// LoopbackEnv is the property environment of intra-node linkage
+	// (components co-located on one node); typically confidential.
+	LoopbackEnv property.Set
+	// MaxChainLen bounds linkage chain enumeration (components per
+	// chain); 0 means the default of 6.
+	MaxChainLen int
+	// Existing lists already-deployed component instances. The planner
+	// reuses them at zero deployment cost, and never creates a second
+	// instance of a stateful primary that already has one (state lives
+	// in the primary; replication happens through data views).
+	Existing []Placement
+	// DeployPenaltyMS is the amortized per-request charge for each newly
+	// deployed component under the MinLatency objective. It models the
+	// one-time deployment and startup cost (about 10 seconds in the
+	// paper's Section 4.2) spread over a session's requests, and keeps
+	// the planner from deploying caches that save less than they cost
+	// to install. New sets it to 5 ms; set it to zero to disable the
+	// penalty.
+	DeployPenaltyMS float64
+
+	stats Stats
+}
+
+// New returns a planner over a specification and network.
+func New(svc *spec.Service, net *netmodel.Network) *Planner {
+	return &Planner{
+		Service:         svc,
+		Net:             net,
+		LoopbackEnv:     property.Set{"Confidentiality": property.Bool(true)},
+		DeployPenaltyMS: 5,
+	}
+}
+
+// Stats returns the statistics accumulated by the most recent Plan call.
+func (pl *Planner) Stats() Stats { return pl.stats }
+
+// maxLen returns the effective chain length bound.
+func (pl *Planner) maxLen() int {
+	if pl.MaxChainLen > 0 {
+		return pl.MaxChainLen
+	}
+	return 6
+}
+
+// Plan satisfies a client request: it enumerates valid chains, maps each
+// onto the network exhaustively, and returns the best deployment under
+// the request's objective. It returns an error when no valid deployment
+// exists, with the accumulated rejection statistics in Stats.
+func (pl *Planner) Plan(req Request) (*Deployment, error) {
+	pl.stats = Stats{}
+	if _, ok := pl.Net.Node(req.ClientNode); !ok {
+		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
+	}
+	if _, ok := pl.Service.Interface(req.Interface); !ok {
+		return nil, fmt.Errorf("planner: interface %q not in service %q", req.Interface, pl.Service.Name)
+	}
+	chains := pl.EnumerateChains(req.Interface)
+	pl.stats.ChainsEnumerated = len(chains)
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("planner: no component chain implements %q", req.Interface)
+	}
+	var best *Deployment
+	for _, chain := range chains {
+		dep := pl.mapChain(chain, req)
+		if dep == nil {
+			continue
+		}
+		if best == nil || pl.better(req.Objective, dep, best) {
+			best = dep
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf(
+			"planner: no valid mapping for %q from %s (chains %d, mappings %d; rejected: conditions %d, properties %d, load %d, no-path %d)",
+			req.Interface, req.ClientNode, pl.stats.ChainsEnumerated, pl.stats.MappingsTried,
+			pl.stats.RejectedConditions, pl.stats.RejectedProps, pl.stats.RejectedLoad, pl.stats.RejectedNoPath)
+	}
+	return best, nil
+}
+
+// better reports whether a should replace b under the objective.
+// All objectives use the remaining metrics, then a lexicographic
+// signature, as deterministic tie-breaks.
+func (pl *Planner) better(o Objective, a, b *Deployment) bool {
+	type key struct{ primary, secondary, tertiary float64 }
+	mk := func(d *Deployment) key {
+		switch o {
+		case MinCost:
+			return key{float64(d.NewComponents), d.ExpectedLatencyMS, -d.CapacityRPS}
+		case MaxCapacity:
+			return key{-d.CapacityRPS, d.ExpectedLatencyMS, float64(d.NewComponents)}
+		default: // MinLatency
+			return key{d.ExpectedLatencyMS + pl.DeployPenaltyMS*float64(d.NewComponents),
+				float64(d.NewComponents), -d.CapacityRPS}
+		}
+	}
+	ka, kb := mk(a), mk(b)
+	const eps = 1e-9
+	if math.Abs(ka.primary-kb.primary) > eps {
+		return ka.primary < kb.primary
+	}
+	if math.Abs(ka.secondary-kb.secondary) > eps {
+		return ka.secondary < kb.secondary
+	}
+	if math.Abs(ka.tertiary-kb.tertiary) > eps {
+		return ka.tertiary < kb.tertiary
+	}
+	return a.String() < b.String()
+}
+
+// anchorFor returns an existing placement of the component at the node
+// with a matching factored configuration.
+func (pl *Planner) anchorFor(component string, node netmodel.NodeID, config property.Set) (Placement, bool) {
+	want := Placement{Component: component, Node: node, Config: config}.Key()
+	for _, e := range pl.Existing {
+		if e.Key() == want {
+			e.Reused = true
+			return e, true
+		}
+	}
+	return Placement{}, false
+}
+
+// hasAnyInstance reports whether the component already has a deployed
+// instance anywhere in the network.
+func (pl *Planner) hasAnyInstance(component string) bool {
+	for _, e := range pl.Existing {
+		if e.Component == component {
+			return true
+		}
+	}
+	return false
+}
+
+// isStatefulPrimary reports whether the component is a stateful primary:
+// a non-view component that has data views defined over it. Once such a
+// component has a deployed instance, plans reuse it rather than create a
+// second copy (two primaries would fork the state that its data views
+// replicate). Client-side components, encryptors and other stateless
+// pieces remain freely instantiable.
+func (pl *Planner) isStatefulPrimary(comp spec.Component) bool {
+	if comp.IsView() {
+		return false
+	}
+	for _, v := range pl.Service.ViewsOf(comp.Name) {
+		if v.Kind == spec.DataView {
+			return true
+		}
+	}
+	return false
+}
+
+// AddExisting registers deployed instances with the planner so that
+// subsequent plans can reuse them and link new components to them.
+// Placements are deduplicated by Key; the Offers of the latest
+// registration wins.
+func (pl *Planner) AddExisting(placements ...Placement) {
+	for _, p := range placements {
+		p.Reused = false
+		replaced := false
+		for i := range pl.Existing {
+			if pl.Existing[i].Key() == p.Key() {
+				pl.Existing[i] = p
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			pl.Existing = append(pl.Existing, p)
+		}
+	}
+}
+
+// PrimaryPlacement builds the Placement for a component pre-deployed by
+// the service owner (e.g. the primary MailServer in New York), deriving
+// its offered properties from its first implemented interface evaluated
+// at the node. Register the result with AddExisting before planning.
+func (pl *Planner) PrimaryPlacement(component string, node netmodel.NodeID) (Placement, error) {
+	comp, ok := pl.Service.Component(component)
+	if !ok {
+		return Placement{}, fmt.Errorf("planner: unknown component %q", component)
+	}
+	n, ok := pl.Net.Node(node)
+	if !ok {
+		return Placement{}, fmt.Errorf("planner: unknown node %q", node)
+	}
+	sc := property.Scope{Node: n.Props}
+	config := property.Set{}
+	for name, expr := range comp.Factors {
+		v, err := expr.Eval(sc)
+		if err != nil {
+			return Placement{}, fmt.Errorf("planner: factoring %s at %s: %w", component, node, err)
+		}
+		config[name] = v
+	}
+	if len(comp.Implements) == 0 {
+		return Placement{}, fmt.Errorf("planner: component %q implements nothing", component)
+	}
+	offers, err := comp.Implements[0].EvalProps(property.Scope{Node: n.Props.Merge(config)})
+	if err != nil {
+		return Placement{}, fmt.Errorf("planner: evaluating offers of %s at %s: %w", component, node, err)
+	}
+	return Placement{Component: component, Node: node, Config: config, Offers: offers}, nil
+}

@@ -1,0 +1,206 @@
+package planner
+
+import (
+	"fmt"
+	"partsvc/internal/netmodel"
+
+	"partsvc/internal/property"
+)
+
+// This file implements the paper's first future-work item (Section 6):
+// relaxing the static-network assumption. When node or link properties
+// change — reported by a monitoring substrate or by credential
+// revocation in the trust layer — existing placements are revalidated,
+// invalid ones are evicted, and a fresh plan is computed; the
+// difference between old and new deployments tells the runtime what to
+// install and what to tear down ("whether a new deployment (either
+// incremental or complete) is called for").
+
+// Diff describes how to adapt from an old deployment to a new one.
+type Diff struct {
+	// New is the freshly planned deployment.
+	New *Deployment
+	// Install lists placements present in New but not in the old
+	// deployment (components the engine must install).
+	Install []Placement
+	// Remove lists old placements no longer referenced by New
+	// (candidates for teardown once their state is drained — data views
+	// have already pushed their writes through the coherence layer).
+	Remove []Placement
+	// Evicted lists previously registered instances that failed
+	// revalidation against the current network and were dropped from
+	// the planner's reuse set.
+	Evicted []Placement
+}
+
+// Unchanged reports whether the new deployment reuses the old one
+// entirely and installs nothing.
+func (d *Diff) Unchanged() bool { return len(d.Install) == 0 && len(d.Remove) == 0 }
+
+// RevalidateExisting re-checks every registered instance against the
+// current network: its node must still exist, its deployment conditions
+// must still hold there, and its factored configuration must still
+// evaluate to the same values (a view factored at TrustLevel=4 on a
+// node now trusted at 1 is invalid — the node can no longer be
+// entrusted with its keys). Invalid instances are removed from the
+// reuse set and returned.
+func (pl *Planner) RevalidateExisting() []Placement {
+	var evicted []Placement
+	kept := pl.Existing[:0]
+	for _, p := range pl.Existing {
+		if pl.stillValid(p) {
+			kept = append(kept, p)
+		} else {
+			evicted = append(evicted, p)
+		}
+	}
+	pl.Existing = kept
+	return evicted
+}
+
+// stillValid re-derives placement validity under current node
+// properties.
+func (pl *Planner) stillValid(p Placement) bool {
+	comp, ok := pl.Service.Component(p.Component)
+	if !ok {
+		return false
+	}
+	n, ok := pl.Net.Node(p.Node)
+	if !ok {
+		return false
+	}
+	sc := property.Scope{Node: n.Props}
+	for _, cond := range comp.Conditions {
+		// Request-scoped conditions (e.g. User ACLs) cannot be
+		// re-evaluated without the original request; only
+		// environment-scoped conditions participate in revalidation.
+		if _, bound := sc.Lookup(cond.Subject); !bound {
+			continue
+		}
+		if !cond.Holds(sc) {
+			return false
+		}
+	}
+	for name, expr := range comp.Factors {
+		v, err := expr.Eval(sc)
+		if err != nil || !v.Equal(p.Config[name]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Replan revalidates the reuse set against the current network and
+// plans the request afresh, returning the adaptation diff relative to
+// old (which may be nil for a first deployment). The old deployment's
+// placements are assumed to be registered via AddExisting.
+func (pl *Planner) Replan(old *Deployment, req Request) (*Diff, error) {
+	diff := &Diff{Evicted: pl.RevalidateExisting()}
+	dep, err := pl.Plan(req)
+	if err != nil {
+		return nil, fmt.Errorf("planner: replan: %w", err)
+	}
+	diff.New = dep
+	keep := map[string]bool{}
+	for _, p := range dep.Placements {
+		keep[p.Key()] = true
+		if !p.Reused {
+			diff.Install = append(diff.Install, p)
+		}
+	}
+	if old != nil {
+		// A new plan may terminate at a reused instance (anchor cut);
+		// the old placements upstream of that instance remain part of
+		// the running service graph and must not be torn down.
+		tail := dep.Placements[len(dep.Placements)-1]
+		if tail.Reused {
+			for i, p := range old.Placements {
+				if p.Key() == tail.Key() {
+					for _, up := range old.Placements[i+1:] {
+						keep[up.Key()] = true
+					}
+					break
+				}
+			}
+		}
+		for _, p := range old.Placements {
+			if !keep[p.Key()] {
+				diff.Remove = append(diff.Remove, p)
+			}
+		}
+	}
+	return diff, nil
+}
+
+// Verify independently validates a deployment against a request under
+// the *current* network state: every placement's conditions hold, every
+// linkage's effective properties satisfy the requirer, and the request
+// rate fits the deployment's capacity. It reconstructs the linkage
+// chain from the deployment (a reused tail whose component still
+// requires an interface is treated as an anchor terminal, exactly as in
+// incremental planning). A nil error means the deployment is valid now.
+func (pl *Planner) Verify(dep *Deployment, req Request) error {
+	if dep == nil || len(dep.Placements) == 0 {
+		return fmt.Errorf("planner: empty deployment")
+	}
+	chain := make(Chain, len(dep.Placements))
+	for i, p := range dep.Placements {
+		comp, ok := pl.Service.Component(p.Component)
+		if !ok {
+			return fmt.Errorf("planner: unknown component %q", p.Component)
+		}
+		chain[i] = chainElem{comp: comp}
+		isTail := i == len(dep.Placements)-1
+		if isTail && p.Reused && len(comp.Requires) > 0 {
+			anchor := p
+			chain[i] = chainElem{comp: comp, anchor: &anchor}
+		}
+		if i > 0 {
+			prev := chain[i-1].comp
+			if len(prev.Requires) == 0 {
+				return fmt.Errorf("planner: component %q requires nothing but has a provider", prev.Name)
+			}
+			if _, ok := comp.ImplementsInterface(prev.Requires[0].Name); !ok {
+				return fmt.Errorf("planner: %q does not implement %q required by %q",
+					comp.Name, prev.Requires[0].Name, prev.Name)
+			}
+		}
+	}
+	// Condition 1 at every placement (head sees the request user).
+	for i, p := range dep.Placements {
+		if chain[i].isAnchor() {
+			continue
+		}
+		if _, ok := pl.placementFor(chain[i].comp, p.Node, req, i); !ok {
+			return fmt.Errorf("planner: conditions for %s no longer hold", p)
+		}
+	}
+	paths, err := pl.routesFor(dep)
+	if err != nil {
+		return err
+	}
+	places := append([]Placement(nil), dep.Placements...)
+	if _, ok := pl.checkProperties(chain, places, paths, req); !ok {
+		return fmt.Errorf("planner: property compatibility violated")
+	}
+	if req.RateRPS > 0 {
+		if capacity := pl.capacityRPS(chain, places, paths); req.RateRPS > capacity {
+			return fmt.Errorf("planner: rate %.1f exceeds deployment capacity %.1f", req.RateRPS, capacity)
+		}
+	}
+	return nil
+}
+
+// routesFor recomputes minimum-latency routes between consecutive
+// placements.
+func (pl *Planner) routesFor(dep *Deployment) ([]netmodel.Path, error) {
+	paths := make([]netmodel.Path, len(dep.Placements)-1)
+	for i := 0; i+1 < len(dep.Placements); i++ {
+		p, ok := pl.Net.ShortestPath(dep.Placements[i].Node, dep.Placements[i+1].Node)
+		if !ok {
+			return nil, fmt.Errorf("planner: no route %s -> %s", dep.Placements[i].Node, dep.Placements[i+1].Node)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}

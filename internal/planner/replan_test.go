@@ -1,0 +1,235 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+func sdRequest() Request {
+	return Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SDClient,
+		User: "Alice", RateRPS: 50,
+	}
+}
+
+// TestVerifyAcceptsPlannerOutput: everything the planner produces
+// passes independent verification (the verifier is the oracle for the
+// property-based tests below).
+func TestVerifyAcceptsPlannerOutput(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	requests := []Request{
+		{Interface: spec.IfaceClient, ClientNode: topology.NYClient, User: "Alice", RateRPS: 50},
+		sdRequest(),
+		{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50},
+	}
+	for _, req := range requests {
+		dep := planOrFail(t, pl, req)
+		if err := pl.Verify(dep, req); err != nil {
+			t.Errorf("planner output failed verification: %v\n%s", err, dep)
+		}
+		pl.AddExisting(dep.Placements...)
+	}
+}
+
+// TestVerifyRejectsTamperedDeployment: moving a component to a node
+// that breaks a constraint is caught.
+func TestVerifyRejectsTamperedDeployment(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	dep := planOrFail(t, pl, sdRequest())
+
+	// Move the ViewMailServer to Seattle: its factored TrustLevel=4 no
+	// longer matches, and the plaintext client hop crosses an insecure
+	// link.
+	bad := *dep
+	bad.Placements = append([]Placement(nil), dep.Placements...)
+	bad.Placements[1].Node = topology.SeaClient
+	if err := pl.Verify(&bad, sdRequest()); err == nil {
+		t.Error("tampered deployment must fail verification")
+	}
+
+	// Excessive rate is caught.
+	over := sdRequest()
+	over.RateRPS = 1e9
+	if err := pl.Verify(dep, over); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("rate violation not caught: %v", err)
+	}
+
+	// Nil and malformed chains are rejected.
+	if err := pl.Verify(nil, sdRequest()); err == nil {
+		t.Error("nil deployment must fail")
+	}
+	broken := *dep
+	broken.Placements = []Placement{{Component: "Ghost", Node: topology.SDClient}}
+	if err := pl.Verify(&broken, sdRequest()); err == nil {
+		t.Error("unknown component must fail")
+	}
+}
+
+// TestRevalidateEvictsUntrustedView: dropping a site's trust evicts the
+// view factored there (its node can no longer hold the escrowed keys).
+func TestRevalidateEvictsUntrustedView(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	dep := planOrFail(t, pl, sdRequest())
+	pl.AddExisting(dep.Placements...)
+
+	n, _ := pl.Net.Node(topology.SDClient)
+	n.Props["TrustLevel"] = property.Int(1)
+	gw, _ := pl.Net.Node(topology.SDGateway)
+	gw.Props["TrustLevel"] = property.Int(1)
+
+	evicted := pl.RevalidateExisting()
+	foundView := false
+	for _, p := range evicted {
+		if p.Component == spec.CompViewMailServer {
+			foundView = true
+		}
+		if p.Component == spec.CompMailServer {
+			t.Error("the NY primary must survive an SD trust change")
+		}
+	}
+	if !foundView {
+		t.Errorf("the SD view must be evicted; evicted = %v", evicted)
+	}
+}
+
+// TestReplanAfterTrustDrop: after San Diego loses trust, the replanned
+// SD deployment stops caching there and the diff says what to remove.
+func TestReplanAfterTrustDrop(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	old := planOrFail(t, pl, sdRequest())
+	pl.AddExisting(old.Placements...)
+
+	for _, id := range []netmodel.NodeID{topology.SDClient, topology.SDGateway} {
+		n, _ := pl.Net.Node(id)
+		n.Props["TrustLevel"] = property.Int(1)
+	}
+	diff, err := pl.Replan(old, sdRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Evicted) == 0 {
+		t.Error("trust drop must evict instances")
+	}
+	for _, p := range diff.New.Placements {
+		if p.Component == spec.CompViewMailServer {
+			n, _ := pl.Net.Node(p.Node)
+			if n.Site == topology.SiteSanDiego {
+				t.Errorf("replan must not cache on untrusted SD nodes: %s", diff.New)
+			}
+		}
+		if p.Component == spec.CompMailClient {
+			// Alice's full client needs TrustLevel-independent conditions
+			// only (User ACL), so it survives.
+			continue
+		}
+	}
+	removed := map[string]bool{}
+	for _, p := range diff.Remove {
+		removed[p.Component] = true
+	}
+	if !removed[spec.CompViewMailServer] {
+		t.Errorf("diff must remove the old SD view; removed = %v", diff.Remove)
+	}
+	if err := pl.Verify(diff.New, sdRequest()); err != nil {
+		t.Errorf("replanned deployment invalid: %v", err)
+	}
+}
+
+// TestReplanAfterLinkSecured: securing the NY-SD path makes the
+// encryptor pair unnecessary; the replanned chain drops it at zero new
+// installs.
+func TestReplanAfterLinkSecured(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	old := planOrFail(t, pl, sdRequest())
+	pl.AddExisting(old.Placements...)
+
+	l, _ := pl.Net.Link(topology.NYServer, topology.SDGateway)
+	l.Secure = true
+	l.Props["Confidentiality"] = property.Bool(true)
+
+	diff, err := pl.Replan(old, sdRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range diff.New.Placements {
+		if p.Component == spec.CompEncryptor || p.Component == spec.CompDecryptor {
+			t.Errorf("secured link must not need the tunnel: %s", diff.New)
+		}
+	}
+	if len(diff.Install) != 0 {
+		t.Errorf("adaptation should reuse everything it keeps: install = %v", diff.Install)
+	}
+	removed := map[string]bool{}
+	for _, p := range diff.Remove {
+		removed[p.Component] = true
+	}
+	if !removed[spec.CompEncryptor] || !removed[spec.CompDecryptor] {
+		t.Errorf("diff must remove the tunnel pair; removed = %v", diff.Remove)
+	}
+	if diff.New.ExpectedLatencyMS >= old.ExpectedLatencyMS {
+		t.Errorf("dropping the tunnel must not raise latency: %.2f -> %.2f",
+			old.ExpectedLatencyMS, diff.New.ExpectedLatencyMS)
+	}
+}
+
+// TestReplanUnchangedWhenNothingChanged: a replan on a static network
+// is a no-op.
+func TestReplanUnchangedWhenNothingChanged(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	old := planOrFail(t, pl, sdRequest())
+	pl.AddExisting(old.Placements...)
+	diff, err := pl.Replan(old, sdRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Unchanged() {
+		t.Errorf("static network replan must be a no-op: install=%v remove=%v", diff.Install, diff.Remove)
+	}
+	if len(diff.Evicted) != 0 {
+		t.Errorf("nothing must be evicted: %v", diff.Evicted)
+	}
+}
+
+// TestQuickPlansAlwaysVerify: across random Waxman networks, whenever
+// the planner finds a deployment it passes independent verification —
+// the three validity conditions are never violated by search shortcuts.
+func TestQuickPlansAlwaysVerify(t *testing.T) {
+	svc := spec.MailService()
+	for seed := int64(1); seed <= 8; seed++ {
+		net, err := topology.Waxman(topology.DefaultWaxman(10, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := net.Nodes()
+		nodes[0].Props["TrustLevel"] = property.Int(5)
+		pl := New(svc, net)
+		ms, err := pl.PrimaryPlacement(spec.CompMailServer, nodes[0].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.AddExisting(ms)
+		for _, client := range []int{1, 3, 7} {
+			req := Request{
+				Interface: spec.IfaceClient, ClientNode: nodes[client].ID,
+				User: "Alice", RateRPS: 10,
+			}
+			// The DP mapper keeps this sweep fast; it re-validates its
+			// result exactly and falls back to exhaustive search when
+			// needed, so the coverage is the same.
+			dep, err := pl.PlanDP(req)
+			if err != nil {
+				continue // some random environments are legitimately unsatisfiable
+			}
+			if verr := pl.Verify(dep, req); verr != nil {
+				t.Errorf("seed %d client %s: plan failed verification: %v\n%s",
+					seed, nodes[client].ID, verr, dep)
+			}
+			pl.AddExisting(dep.Placements...)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+)
+
+// The paper's implemented planner handles chains and announces a
+// partial-order constraint solver for general directed component graphs
+// (Section 3.3). This file provides that generalization for tree-shaped
+// linkage graphs: components with multiple required interfaces obtain
+// one provider subtree per requirement, and a backtracking mapper
+// assigns nodes under the same three validity conditions.
+
+// Tree is a linkage tree: the root implements the requested interface
+// and each child subtree provides one of the root's required
+// interfaces, in declaration order.
+type Tree struct {
+	comp     spec.Component
+	anchor   *Placement
+	children []*Tree
+}
+
+// Names renders the tree as a nested expression, e.g.
+// "Portal(MailServer, LogServer)".
+func (t *Tree) Names() string {
+	if len(t.children) == 0 {
+		name := t.comp.Name
+		if t.anchor != nil {
+			name += "*"
+		}
+		return name
+	}
+	parts := make([]string, len(t.children))
+	for i, c := range t.children {
+		parts[i] = c.Names()
+	}
+	return t.comp.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// size counts the tree's components.
+func (t *Tree) size() int {
+	n := 1
+	for _, c := range t.children {
+		n += c.size()
+	}
+	return n
+}
+
+// EnumerateTrees finds the valid linkage trees satisfying an interface,
+// bounded by MaxChainLen components per tree. Anchors terminate subtrees
+// exactly as in chain enumeration.
+func (pl *Planner) EnumerateTrees(iface string) []*Tree {
+	var build func(iface string, budget int) []*Tree
+	build = func(iface string, budget int) []*Tree {
+		if budget <= 0 {
+			return nil
+		}
+		var out []*Tree
+		for i := range pl.Existing {
+			anchor := &pl.Existing[i]
+			comp, ok := pl.Service.Component(anchor.Component)
+			if !ok {
+				continue
+			}
+			if _, implements := comp.ImplementsInterface(iface); implements && len(anchor.Offers) > 0 {
+				out = append(out, &Tree{comp: comp, anchor: anchor})
+			}
+		}
+		for _, comp := range pl.Service.ImplementersOf(iface) {
+			if len(comp.Requires) == 0 {
+				out = append(out, &Tree{comp: comp})
+				continue
+			}
+			// Cartesian product of provider subtrees per requirement.
+			partials := []*Tree{{comp: comp}}
+			feasible := true
+			for _, req := range comp.Requires {
+				subs := build(req.Name, budget-1)
+				if len(subs) == 0 {
+					feasible = false
+					break
+				}
+				var next []*Tree
+				for _, p := range partials {
+					for _, s := range subs {
+						grown := &Tree{comp: p.comp, children: append(append([]*Tree(nil), p.children...), s)}
+						if grown.size() <= budget {
+							next = append(next, grown)
+						}
+					}
+				}
+				partials = next
+			}
+			if feasible {
+				out = append(out, partials...)
+			}
+		}
+		return out
+	}
+	return build(iface, pl.maxLen())
+}
+
+// TreePlacement is a placement within a tree deployment, with its parent
+// index (-1 for the root) and the path to its parent.
+type TreePlacement struct {
+	Placement
+	Parent int
+	Path   netmodel.Path
+}
+
+// TreeDeployment is a validated mapping of a linkage tree.
+type TreeDeployment struct {
+	// Placements lists instances in pre-order; element 0 is the root at
+	// the client node.
+	Placements []TreePlacement
+	// ExpectedLatencyMS and NewComponents mirror Deployment.
+	ExpectedLatencyMS float64
+	NewComponents     int
+}
+
+// String renders the deployment with parent links.
+func (d *TreeDeployment) String() string {
+	parts := make([]string, len(d.Placements))
+	for i, p := range d.Placements {
+		if p.Parent < 0 {
+			parts[i] = p.Placement.String()
+		} else {
+			parts[i] = fmt.Sprintf("%s<-%d", p.Placement.String(), p.Parent)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// PlanTree satisfies a request over tree-shaped linkage graphs. It
+// reuses the chain machinery's constraint semantics: deployment
+// conditions at every node, property compatibility (with modification
+// rules) on every edge, and a per-edge bandwidth plus per-node CPU load
+// check. The MinLatency deployment penalty applies as in Plan.
+func (pl *Planner) PlanTree(req Request) (*TreeDeployment, error) {
+	pl.stats = Stats{}
+	if _, ok := pl.Net.Node(req.ClientNode); !ok {
+		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
+	}
+	if _, ok := pl.Service.Interface(req.Interface); !ok {
+		return nil, fmt.Errorf("planner: interface %q not in service %q", req.Interface, pl.Service.Name)
+	}
+	trees := pl.EnumerateTrees(req.Interface)
+	pl.stats.ChainsEnumerated = len(trees)
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("planner: no component tree implements %q", req.Interface)
+	}
+	var best *TreeDeployment
+	for _, tree := range trees {
+		dep := pl.mapTree(tree, req)
+		if dep == nil {
+			continue
+		}
+		if best == nil || pl.treeBetter(req.Objective, dep, best) {
+			best = dep
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("planner: no valid tree mapping for %q from %s", req.Interface, req.ClientNode)
+	}
+	return best, nil
+}
+
+func (pl *Planner) treeBetter(o Objective, a, b *TreeDeployment) bool {
+	var ka, kb [2]float64
+	switch o {
+	case MinCost:
+		ka = [2]float64{float64(a.NewComponents), a.ExpectedLatencyMS}
+		kb = [2]float64{float64(b.NewComponents), b.ExpectedLatencyMS}
+	default:
+		ka = [2]float64{a.ExpectedLatencyMS + pl.DeployPenaltyMS*float64(a.NewComponents), float64(a.NewComponents)}
+		kb = [2]float64{b.ExpectedLatencyMS + pl.DeployPenaltyMS*float64(b.NewComponents), float64(b.NewComponents)}
+	}
+	const eps = 1e-9
+	if math.Abs(ka[0]-kb[0]) > eps {
+		return ka[0] < kb[0]
+	}
+	if math.Abs(ka[1]-kb[1]) > eps {
+		return ka[1] < kb[1]
+	}
+	return a.String() < b.String()
+}
+
+// treeNode is the flattened pre-order view used during mapping.
+type treeNode struct {
+	tree   *Tree
+	parent int // index into the flattened slice; -1 for root
+	weight float64
+}
+
+// flatten produces the pre-order node list with traffic weights: the
+// root has weight 1 and each child's weight is its parent's weight times
+// the parent's RRF.
+func flatten(t *Tree) []treeNode {
+	var out []treeNode
+	var walk func(t *Tree, parent int, weight float64)
+	walk = func(t *Tree, parent int, weight float64) {
+		idx := len(out)
+		out = append(out, treeNode{tree: t, parent: parent, weight: weight})
+		for _, c := range t.children {
+			walk(c, idx, weight*t.comp.Behaviors.EffectiveRRF())
+		}
+	}
+	walk(t, -1, 1)
+	return out
+}
+
+// mapTree assigns nodes to a flattened tree by backtracking.
+func (pl *Planner) mapTree(tree *Tree, req Request) *TreeDeployment {
+	if tree.anchor != nil {
+		return nil
+	}
+	flat := flatten(tree)
+	head, ok := pl.placementFor(flat[0].tree.comp, req.ClientNode, req, 0)
+	if !ok {
+		pl.stats.RejectedConditions++
+		return nil
+	}
+	if anchor, found := pl.anchorFor(head.Component, head.Node, head.Config); found {
+		head = anchor
+	}
+	places := make([]Placement, len(flat))
+	places[0] = head
+
+	var best *TreeDeployment
+	nodes := pl.Net.Nodes()
+
+	var assign func(pos int)
+	assign = func(pos int) {
+		if pos == len(flat) {
+			pl.stats.MappingsTried++
+			if dep := pl.validateTree(flat, places, req); dep != nil {
+				if best == nil || pl.treeBetter(req.Objective, dep, best) {
+					best = dep
+				}
+			}
+			return
+		}
+		tn := flat[pos]
+		if tn.tree.anchor != nil {
+			p := *tn.tree.anchor
+			p.Reused = true
+			places[pos] = p
+			assign(pos + 1)
+			return
+		}
+		comp := tn.tree.comp
+		if pl.isStatefulPrimary(comp) && pl.hasAnyInstance(comp.Name) {
+			for _, e := range pl.Existing {
+				if e.Component != comp.Name {
+					continue
+				}
+				p := e
+				p.Reused = true
+				places[pos] = p
+				assign(pos + 1)
+			}
+			return
+		}
+		caching := comp.Behaviors.EffectiveRRF() < 1
+		for _, node := range nodes {
+			p, ok := pl.placementFor(comp, node.ID, req, pos)
+			if !ok {
+				pl.stats.RejectedConditions++
+				continue
+			}
+			// No loops or duplicated replicas along the ancestor path
+			// (the same rules as the chain mapper, applied per branch).
+			id := p.Component + "{" + p.Config.Fingerprint() + "}"
+			blocked := false
+			for a := tn.parent; a >= 0; a = flat[a].parent {
+				if p.Key() == places[a].Key() {
+					blocked = true
+					break
+				}
+				if caching && id == places[a].Component+"{"+places[a].Config.Fingerprint()+"}" {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			if anchor, found := pl.anchorFor(p.Component, p.Node, p.Config); found {
+				p = anchor
+			}
+			places[pos] = p
+			assign(pos + 1)
+		}
+	}
+	assign(1)
+	return best
+}
+
+// validateTree checks conditions 2 and 3 over the tree and computes
+// metrics. Property propagation runs bottom-up: each subtree's offer is
+// computed from its children's offers modified by the connecting path
+// environments.
+func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request) *TreeDeployment {
+	paths := make([]netmodel.Path, len(flat))
+	for i := 1; i < len(flat); i++ {
+		p, ok := pl.Net.ShortestPath(places[flat[i].parent].Node, places[i].Node)
+		if !ok {
+			pl.stats.RejectedNoPath++
+			return nil
+		}
+		paths[i] = p
+	}
+
+	// children[i] lists the flattened indices of i's children in order.
+	children := make([][]int, len(flat))
+	for i := 1; i < len(flat); i++ {
+		children[flat[i].parent] = append(children[flat[i].parent], i)
+	}
+
+	// offerOf computes the effective property set node i offers its
+	// parent over the given interface, recursing through its children.
+	var offerOf func(i int, iface string) (property.Set, bool)
+	offerOf = func(i int, iface string) (property.Set, bool) {
+		tn := flat[i]
+		if tn.tree.anchor != nil {
+			return tn.tree.anchor.Offers.Clone(), true
+		}
+		// Pass-through base: the property-wise minimum of what all
+		// children deliver (a multi-input component is only as strong as
+		// its weakest input), restricted to the output interface.
+		var carried property.Set
+		for ci, c := range children[i] {
+			childIface := tn.tree.comp.Requires[ci].Name
+			childOffer, ok := offerOf(c, childIface)
+			if !ok {
+				return nil, false
+			}
+			env := paths[c].Env(pl.Net, pl.LoopbackEnv)
+			received, err := pl.Service.ModRules.ApplySet(childOffer, env)
+			if err != nil {
+				return nil, false
+			}
+			reqProps, err := tn.tree.comp.Requires[ci].EvalProps(pl.scopeAt(places[i]))
+			if err != nil {
+				return nil, false
+			}
+			if !received.Satisfies(reqProps) {
+				return nil, false
+			}
+			if carried == nil {
+				carried = received.Clone()
+			} else {
+				for name, v := range carried {
+					rv, ok := received[name]
+					if !ok {
+						delete(carried, name)
+						continue
+					}
+					m := property.Min(v, rv)
+					if !m.IsValid() {
+						delete(carried, name)
+						continue
+					}
+					carried[name] = m
+				}
+				for name := range received {
+					if _, ok := carried[name]; !ok {
+						delete(carried, name)
+					}
+				}
+			}
+		}
+		if iface == "" {
+			return property.Set{}, true
+		}
+		decl, _ := pl.Service.Interface(iface)
+		out := property.Set{}
+		for name, v := range carried {
+			if decl.HasProperty(name) {
+				out[name] = v
+			}
+		}
+		impl, ok := tn.tree.comp.ImplementsInterface(iface)
+		if !ok {
+			return nil, false
+		}
+		gen, err := impl.EvalProps(pl.scopeAt(places[i]))
+		if err != nil {
+			return nil, false
+		}
+		return out.Merge(gen), true
+	}
+
+	rootOffer, ok := offerOf(0, req.Interface)
+	if !ok {
+		pl.stats.RejectedProps++
+		return nil
+	}
+	if len(req.RequireProps) > 0 && !rootOffer.Satisfies(req.RequireProps) {
+		pl.stats.RejectedProps++
+		return nil
+	}
+
+	// Load: per-node CPU aggregation and per-link bandwidth aggregation
+	// at the requested rate.
+	if req.RateRPS > 0 {
+		cpuPerNode := map[netmodel.NodeID]float64{}
+		for i, tn := range flat {
+			cpuPerNode[places[i].Node] += req.RateRPS * tn.weight * tn.tree.comp.Behaviors.CPUMSPerRequest
+			if c := tn.tree.comp.Behaviors.CapacityRPS; c > 0 && req.RateRPS*tn.weight > c {
+				pl.stats.RejectedLoad++
+				return nil
+			}
+		}
+		for node, ms := range cpuPerNode {
+			n, _ := pl.Net.Node(node)
+			if n.CPUCapacityRPS > 0 && ms > n.CPUCapacityRPS {
+				pl.stats.RejectedLoad++
+				return nil
+			}
+		}
+		type linkKey struct{ a, b netmodel.NodeID }
+		bitsPerLink := map[linkKey]float64{}
+		for i := 1; i < len(flat); i++ {
+			b := flat[i].tree.comp.Behaviors
+			bytes := float64(b.RequestBytes+b.ResponseBytes) * 8
+			for j := 0; j+1 < len(paths[i].Nodes); j++ {
+				a, bn := paths[i].Nodes[j], paths[i].Nodes[j+1]
+				if bn < a {
+					a, bn = bn, a
+				}
+				bitsPerLink[linkKey{a, bn}] += req.RateRPS * flat[i].weight * bytes
+			}
+		}
+		for key, bits := range bitsPerLink {
+			l, ok := pl.Net.Link(key.a, key.b)
+			if ok && l.BandwidthMbps > 0 && bits > l.BandwidthMbps*1e6 {
+				pl.stats.RejectedLoad++
+				return nil
+			}
+		}
+	}
+
+	dep := &TreeDeployment{ExpectedLatencyMS: flat[0].tree.comp.Behaviors.CPUMSPerRequest}
+	for i := range flat {
+		tp := TreePlacement{Placement: places[i], Parent: flat[i].parent, Path: paths[i]}
+		dep.Placements = append(dep.Placements, tp)
+		if !places[i].Reused {
+			dep.NewComponents++
+		}
+		if i == 0 {
+			continue
+		}
+		b := flat[i].tree.comp.Behaviors
+		hop := 2*paths[i].LatencyMS + b.CPUMSPerRequest
+		if !paths[i].IsLoopback() && paths[i].BottleneckMbps > 0 && !math.IsInf(paths[i].BottleneckMbps, 1) {
+			bits := float64(b.RequestBytes+b.ResponseBytes) * 8
+			hop += bits / (paths[i].BottleneckMbps * 1e6) * 1e3
+		}
+		if flat[i].tree.anchor != nil {
+			hop += flat[i].tree.anchor.UpstreamMS
+		}
+		dep.ExpectedLatencyMS += flat[i].weight * hop
+	}
+	return dep
+}

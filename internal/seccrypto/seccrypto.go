@@ -1,0 +1,202 @@
+// Package seccrypto provides the mail service's security substrate: a
+// per-(user, sensitivity level) key ring, AES-GCM envelope encryption,
+// and trust-gated key escrow. The example service associates a
+// sensitivity level with each message; a key pair per level per user is
+// generated at account setup, messages are encrypted at the sender's
+// level on send and transformed to the recipient's key on receive, and
+// a node may only be entrusted with keys up to its trust level
+// (HPDC'02, Section 2).
+package seccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"partsvc/internal/wire"
+)
+
+// MaxLevel is the highest sensitivity level, matching the TrustLevel
+// property range (1,5) of the mail specification.
+const MaxLevel = 5
+
+type keyID struct {
+	user  string
+	level int
+}
+
+// Envelope is an encrypted message body, self-describing enough to be
+// transformed between users by a component holding both keys.
+type Envelope struct {
+	// User is the key owner the envelope is encrypted to.
+	User string
+	// Level is the sensitivity level (selects the key).
+	Level int
+	// Nonce is the AES-GCM nonce.
+	Nonce []byte
+	// Ciphertext is the sealed payload.
+	Ciphertext []byte
+}
+
+// Marshal encodes the envelope with the wire format.
+func (e *Envelope) Marshal() ([]byte, error) {
+	return wire.Marshal(map[string]any{
+		"user": e.User, "level": int64(e.Level), "nonce": e.Nonce, "ct": e.Ciphertext,
+	})
+}
+
+// UnmarshalEnvelope decodes an envelope.
+func UnmarshalEnvelope(data []byte) (*Envelope, error) {
+	v, err := wire.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("seccrypto: envelope is %T", v)
+	}
+	e := &Envelope{}
+	e.User, _ = m["user"].(string)
+	if lvl, ok := m["level"].(int64); ok {
+		e.Level = int(lvl)
+	}
+	e.Nonce, _ = m["nonce"].([]byte)
+	e.Ciphertext, _ = m["ct"].([]byte)
+	if e.User == "" || e.Level == 0 || len(e.Nonce) == 0 {
+		return nil, fmt.Errorf("seccrypto: incomplete envelope")
+	}
+	return e, nil
+}
+
+// KeyRing holds symmetric keys per (user, sensitivity level). It is
+// safe for concurrent use. The zero value is unusable; call NewKeyRing.
+type KeyRing struct {
+	mu   sync.RWMutex
+	keys map[keyID][]byte
+	// maxLevel caps the levels this ring may hold (escrow restriction).
+	maxLevel int
+}
+
+// NewKeyRing returns an empty ring allowed to hold keys up to MaxLevel.
+func NewKeyRing() *KeyRing {
+	return &KeyRing{keys: map[keyID][]byte{}, maxLevel: MaxLevel}
+}
+
+// MaxLevelAllowed returns the highest level this ring may hold.
+func (k *KeyRing) MaxLevelAllowed() int { return k.maxLevel }
+
+// GenerateUserKeys creates fresh random keys for every level 1..levels
+// for the user (account setup). Existing keys are preserved.
+func (k *KeyRing) GenerateUserKeys(user string, levels int) error {
+	if user == "" {
+		return fmt.Errorf("seccrypto: empty user")
+	}
+	if levels < 1 || levels > MaxLevel {
+		return fmt.Errorf("seccrypto: levels %d outside 1..%d", levels, MaxLevel)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for lvl := 1; lvl <= levels; lvl++ {
+		id := keyID{user, lvl}
+		if _, exists := k.keys[id]; exists {
+			continue
+		}
+		key := make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			return fmt.Errorf("seccrypto: generating key: %w", err)
+		}
+		k.keys[id] = key
+	}
+	return nil
+}
+
+// HasKey reports whether the ring holds the key for (user, level).
+func (k *KeyRing) HasKey(user string, level int) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.keys[keyID{user, level}]
+	return ok
+}
+
+// SubRing returns a new ring holding only keys with level <= maxLevel:
+// the escrow operation used when instantiating a view on a node of
+// limited trust ("whether the node ... can be entrusted with the keys
+// for a specific sensitivity level").
+func (k *KeyRing) SubRing(maxLevel int) *KeyRing {
+	if maxLevel > MaxLevel {
+		maxLevel = MaxLevel
+	}
+	sub := &KeyRing{keys: map[keyID][]byte{}, maxLevel: maxLevel}
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	for id, key := range k.keys {
+		if id.level <= maxLevel {
+			sub.keys[id] = key
+		}
+	}
+	return sub
+}
+
+func (k *KeyRing) aead(user string, level int) (cipher.AEAD, error) {
+	k.mu.RLock()
+	key, ok := k.keys[keyID{user, level}]
+	k.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("seccrypto: no key for user %q level %d", user, level)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal encrypts plaintext to (user, level).
+func (k *KeyRing) Seal(user string, level int, plaintext []byte) (*Envelope, error) {
+	aead, err := k.aead(user, level)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("seccrypto: nonce: %w", err)
+	}
+	return &Envelope{
+		User: user, Level: level, Nonce: nonce,
+		Ciphertext: aead.Seal(nil, nonce, plaintext, envelopeAD(user, level)),
+	}, nil
+}
+
+// Open decrypts an envelope; it fails if the ring lacks the key or the
+// ciphertext was tampered with.
+func (k *KeyRing) Open(e *Envelope) ([]byte, error) {
+	aead, err := k.aead(e.User, e.Level)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, e.Nonce, e.Ciphertext, envelopeAD(e.User, e.Level))
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: open envelope for %s/%d: %w", e.User, e.Level, err)
+	}
+	return pt, nil
+}
+
+// Transform re-encrypts an envelope from its current owner to another
+// user at the given level: the server-side operation that converts a
+// message sealed at the sender's sensitivity into one sealed to the
+// recipient (Section 2: "transforms these messages to those encrypted
+// to the recipient's sensitivity upon a receive"). It requires both
+// keys.
+func (k *KeyRing) Transform(e *Envelope, toUser string, toLevel int) (*Envelope, error) {
+	pt, err := k.Open(e)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: transform: %w", err)
+	}
+	return k.Seal(toUser, toLevel, pt)
+}
+
+func envelopeAD(user string, level int) []byte {
+	return []byte(fmt.Sprintf("psf:%s:%d", user, level))
+}

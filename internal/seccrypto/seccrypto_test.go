@@ -1,0 +1,209 @@
+package seccrypto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ringWith(t *testing.T, users ...string) *KeyRing {
+	t.Helper()
+	k := NewKeyRing()
+	for _, u := range users {
+		if err := k.GenerateUserKeys(u, MaxLevel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := ringWith(t, "alice")
+	for lvl := 1; lvl <= MaxLevel; lvl++ {
+		msg := []byte("hello level " + strings.Repeat("x", lvl))
+		env, err := k.Seal("alice", lvl, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Open(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("level %d: round trip mismatch", lvl)
+		}
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	k := ringWith(t, "alice", "bob")
+	env, err := k.Seal("alice", 3, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming the envelope belongs to bob must fail authentication.
+	env.User = "bob"
+	if _, err := k.Open(env); err == nil {
+		t.Error("cross-user open must fail")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	k := ringWith(t, "alice")
+	env, err := k.Seal("alice", 2, []byte("integrity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Ciphertext[0] ^= 0xff
+	if _, err := k.Open(env); err == nil {
+		t.Error("tampered ciphertext must fail")
+	}
+}
+
+func TestTransformBetweenUsers(t *testing.T) {
+	k := ringWith(t, "alice", "bob")
+	env, err := k.Seal("alice", 4, []byte("for bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.Transform(env, "bob", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.User != "bob" || out.Level != 2 {
+		t.Errorf("transformed envelope = %s/%d", out.User, out.Level)
+	}
+	pt, err := k.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "for bob" {
+		t.Errorf("plaintext = %q", pt)
+	}
+	// Alice's original remains openable; bob's version requires bob's key.
+	sub := k.SubRing(MaxLevel)
+	if !sub.HasKey("bob", 2) {
+		t.Fatal("subring must carry bob's key")
+	}
+}
+
+func TestSubRingEscrow(t *testing.T) {
+	k := ringWith(t, "alice")
+	sub := k.SubRing(2)
+	if sub.MaxLevelAllowed() != 2 {
+		t.Errorf("MaxLevelAllowed = %d", sub.MaxLevelAllowed())
+	}
+	if !sub.HasKey("alice", 1) || !sub.HasKey("alice", 2) {
+		t.Error("levels <= 2 must be escrowed")
+	}
+	for lvl := 3; lvl <= MaxLevel; lvl++ {
+		if sub.HasKey("alice", lvl) {
+			t.Errorf("level %d key must not be escrowed to a trust-2 node", lvl)
+		}
+	}
+	// The restricted ring cannot open high-sensitivity envelopes.
+	env, err := k.Seal("alice", 4, []byte("top"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Open(env); err == nil {
+		t.Error("restricted ring must not open level-4 envelopes")
+	}
+	// Clamp above MaxLevel.
+	if got := k.SubRing(99).MaxLevelAllowed(); got != MaxLevel {
+		t.Errorf("clamped max = %d", got)
+	}
+}
+
+func TestGenerateUserKeysValidation(t *testing.T) {
+	k := NewKeyRing()
+	if err := k.GenerateUserKeys("", 3); err == nil {
+		t.Error("empty user must fail")
+	}
+	if err := k.GenerateUserKeys("alice", 0); err == nil {
+		t.Error("zero levels must fail")
+	}
+	if err := k.GenerateUserKeys("alice", MaxLevel+1); err == nil {
+		t.Error("levels above MaxLevel must fail")
+	}
+}
+
+func TestGenerateUserKeysIdempotent(t *testing.T) {
+	k := ringWith(t, "alice")
+	env, err := k.Seal("alice", 1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-generating must not rotate existing keys.
+	if err := k.GenerateUserKeys("alice", MaxLevel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(env); err != nil {
+		t.Errorf("existing envelope must remain openable: %v", err)
+	}
+}
+
+func TestSealWithoutKeyFails(t *testing.T) {
+	k := NewKeyRing()
+	if _, err := k.Seal("ghost", 1, []byte("x")); err == nil {
+		t.Error("sealing without a key must fail")
+	}
+	if _, err := k.Open(&Envelope{User: "ghost", Level: 1, Nonce: make([]byte, 12)}); err == nil {
+		t.Error("opening without a key must fail")
+	}
+}
+
+func TestEnvelopeMarshalRoundTrip(t *testing.T) {
+	k := ringWith(t, "alice")
+	env, err := k.Seal("alice", 3, []byte("wire me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := k.Open(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "wire me" {
+		t.Errorf("plaintext = %q", pt)
+	}
+}
+
+func TestUnmarshalEnvelopeErrors(t *testing.T) {
+	if _, err := UnmarshalEnvelope([]byte{0xff}); err == nil {
+		t.Error("garbage must fail")
+	}
+	data, _ := (&Envelope{}).Marshal()
+	if _, err := UnmarshalEnvelope(data); err == nil {
+		t.Error("incomplete envelope must fail")
+	}
+}
+
+// TestQuickSealOpenIdentity: arbitrary payloads round-trip at arbitrary
+// levels.
+func TestQuickSealOpenIdentity(t *testing.T) {
+	k := NewKeyRing()
+	if err := k.GenerateUserKeys("u", MaxLevel); err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte, lvlSeed uint8) bool {
+		lvl := int(lvlSeed%MaxLevel) + 1
+		env, err := k.Seal("u", lvl, payload)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(env)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import "container/list"
+
+// Queue is an unbounded FIFO mailbox between processes. Get blocks until
+// an item is available; Put never blocks. The zero value is not usable;
+// create queues with NewQueue.
+type Queue struct {
+	env     *Env
+	items   *list.List
+	waiters *list.List // *Proc, FIFO
+}
+
+// NewQueue returns an empty queue bound to the environment.
+func NewQueue(env *Env) *Queue {
+	return &Queue{env: env, items: list.New(), waiters: list.New()}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return q.items.Len() }
+
+// Put appends an item and wakes the oldest waiting consumer, if any.
+// Put may be called from any process (or before Run via a zero-time
+// process).
+func (q *Queue) Put(v any) {
+	q.items.PushBack(v)
+	if w := q.waiters.Front(); w != nil {
+		q.waiters.Remove(w)
+		q.env.unblock(w.Value.(*Proc))
+	}
+}
+
+// Get removes and returns the oldest item, blocking the calling process
+// until one is available.
+func (q *Queue) Get(p *Proc) any {
+	for q.items.Len() == 0 {
+		q.waiters.PushBack(p)
+		p.block()
+	}
+	front := q.items.Front()
+	q.items.Remove(front)
+	return front.Value
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is
+// false when the queue is empty.
+func (q *Queue) TryGet() (v any, ok bool) {
+	front := q.items.Front()
+	if front == nil {
+		return nil, false
+	}
+	q.items.Remove(front)
+	return front.Value, true
+}
+
+// Resource is a counted resource (semaphore) with FIFO admission: the
+// building block for modeling server capacity and exclusive locks.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  *list.List // waiter, FIFO
+}
+
+type waiter struct {
+	proc *Proc
+	n    int
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{env: env, capacity: capacity, waiters: list.New()}
+}
+
+// InUse returns the currently acquired units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire obtains n units (n <= capacity), blocking in FIFO order.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.capacity {
+		panic("sim: Acquire exceeds resource capacity")
+	}
+	if r.waiters.Len() == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	elem := r.waiters.PushBack(&waiter{proc: p, n: n})
+	for {
+		p.block()
+		// Admitted only when the releaser has granted our units and
+		// removed us from the wait list.
+		if elem.Value.(*waiter).proc == nil {
+			return
+		}
+	}
+}
+
+// Release returns n units and admits waiting processes in FIFO order.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Release below zero")
+	}
+	for {
+		front := r.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.inUse += w.n
+		r.waiters.Remove(front)
+		proc := w.proc
+		w.proc = nil // mark admitted
+		r.env.unblock(proc)
+	}
+}
+
+// Mutex is an exclusive lock.
+type Mutex struct{ r *Resource }
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(env *Env) *Mutex { return &Mutex{r: NewResource(env, 1)} }
+
+// Lock acquires the mutex, blocking in FIFO order.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.r.Release(1) }
+
+// Locked reports whether the mutex is held.
+func (m *Mutex) Locked() bool { return m.r.InUse() > 0 }
+
+// Link models a network link with propagation latency and serialized
+// transmission: transfers queue behind one another (FIFO) and each takes
+// bytes/bandwidth transmission time plus latency. It reproduces the
+// traffic-shaping behavior of the paper's Click-based emulation.
+type Link struct {
+	env *Env
+	// LatencyMS is the one-way propagation delay.
+	LatencyMS float64
+	// BandwidthMbps is the transmission rate; zero means infinite.
+	BandwidthMbps float64
+	busyUntil     float64
+	// BytesCarried accumulates total bytes for utilization reporting.
+	BytesCarried int64
+}
+
+// NewLink returns a link bound to the environment.
+func NewLink(env *Env, latencyMS, bandwidthMbps float64) *Link {
+	return &Link{env: env, LatencyMS: latencyMS, BandwidthMbps: bandwidthMbps}
+}
+
+// TxMS returns the serialization time for a payload.
+func (l *Link) TxMS(bytes int) float64 {
+	if l.BandwidthMbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (l.BandwidthMbps * 1e6) * 1e3
+}
+
+// Transfer moves bytes across the link, blocking the calling process for
+// queueing + transmission + propagation, and returns the total delay
+// experienced.
+func (l *Link) Transfer(p *Proc, bytes int) float64 {
+	start := p.Now()
+	tx := l.TxMS(bytes)
+	if l.busyUntil < start {
+		l.busyUntil = start
+	}
+	l.busyUntil += tx
+	l.BytesCarried += int64(bytes)
+	end := l.busyUntil + l.LatencyMS
+	p.SleepUntil(end)
+	return p.Now() - start
+}

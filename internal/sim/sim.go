@@ -1,0 +1,166 @@
+// Package sim is a deterministic, process-oriented discrete-event
+// simulator: the substrate that replaces the paper's Click-router
+// testbed for the Figure 7 experiments. Processes are goroutines
+// scheduled cooperatively — exactly one holds the execution token at any
+// instant — so simulations are bit-reproducible and free of data races
+// by construction. Virtual time is in milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Env is a simulation environment: a virtual clock and an event queue.
+// Create one with NewEnv, add processes with Go, then call Run.
+type Env struct {
+	now     float64
+	queue   eventQueue
+	seq     int64
+	yieldCh chan struct{} // process -> scheduler handoff
+	blocked int           // processes waiting on queues/resources (not timed)
+	procs   int           // live processes
+}
+
+// NewEnv returns an empty environment at time zero.
+func NewEnv() *Env {
+	return &Env{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Env) Now() float64 { return e.now }
+
+// event is a scheduled process resumption.
+type event struct {
+	at   float64
+	seq  int64
+	proc *Proc
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Proc is a simulated process. Its methods may only be called from
+// within the process's own function while it holds the execution token.
+type Proc struct {
+	env  *Env
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Go adds a process to the environment. Processes added before Run start
+// at time zero in registration order; processes added from inside a
+// running process start at the current time.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.procs++
+	e.schedule(e.now, p)
+	go func() {
+		<-p.wake // wait for first dispatch
+		fn(p)
+		p.dead = true
+		e.procs--
+		e.yieldCh <- struct{}{}
+	}()
+	return p
+}
+
+// schedule enqueues a resumption for p at time t.
+func (e *Env) schedule(t float64, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, proc: p})
+}
+
+// Run executes events until the queue empties or the optional horizon is
+// passed. It returns the final virtual time. Run panics if a process
+// deadlock leaves blocked processes with an empty queue — a simulation
+// bug that must not fail silently.
+func (e *Env) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= horizon and returns the
+// final virtual time.
+func (e *Env) RunUntil(horizon float64) float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		if ev.at > horizon {
+			heap.Push(&e.queue, ev)
+			return e.now
+		}
+		if ev.proc.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.proc.wake <- struct{}{}
+		<-e.yieldCh
+	}
+	if e.blocked > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with an empty event queue at t=%v", e.blocked, e.now))
+	}
+	return e.now
+}
+
+// yield returns the token to the scheduler and waits to be resumed.
+func (p *Proc) yield() {
+	p.env.yieldCh <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for d milliseconds of virtual time.
+// Negative durations sleep zero.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.yield()
+}
+
+// SleepUntil suspends the process until the given virtual time (no-op if
+// already past).
+func (p *Proc) SleepUntil(t float64) {
+	p.env.schedule(t, p)
+	p.yield()
+}
+
+// block suspends the process indefinitely; some other process must hand
+// it to Env.unblock. Used by queues and resources.
+func (p *Proc) block() {
+	p.env.blocked++
+	p.yield()
+	p.env.blocked--
+}
+
+// unblock schedules a blocked process to resume at the current time.
+func (e *Env) unblock(p *Proc) {
+	e.schedule(e.now, p)
+}

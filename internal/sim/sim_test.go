@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	env := NewEnv()
+	var times []float64
+	env.Go("a", func(p *Proc) {
+		p.Sleep(10)
+		times = append(times, p.Now())
+		p.Sleep(5)
+		times = append(times, p.Now())
+	})
+	end := env.Run()
+	if !reflect.DeepEqual(times, []float64{10, 15}) {
+		t.Errorf("times = %v", times)
+	}
+	if end != 15 {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var order []string
+		env.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				order = append(order, "a")
+			}
+		})
+		env.Go("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Sleep(15)
+				order = append(order, "b")
+			}
+		})
+		env.Run()
+		return order
+	}
+	first := run()
+	// t=10,15,20,30,30; at the t=30 tie, b's event was scheduled first
+	// (at t=15, before a's at t=20), so b resumes first.
+	want := []string{"a", "b", "a", "b", "a"}
+	if !reflect.DeepEqual(first, want) {
+		t.Errorf("order = %v, want %v", first, want)
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d differs: %v vs %v", i, got, first)
+		}
+	}
+}
+
+func TestSleepNegativeAndUntilPast(t *testing.T) {
+	env := NewEnv()
+	env.Go("a", func(p *Proc) {
+		p.Sleep(5)
+		p.Sleep(-3) // clamps to zero
+		if p.Now() != 5 {
+			t.Errorf("negative sleep moved time: %v", p.Now())
+		}
+		p.SleepUntil(2) // already past; no-op in time
+		if p.Now() != 5 {
+			t.Errorf("SleepUntil(past) moved time: %v", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	env := NewEnv()
+	ticks := 0
+	env.Go("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10)
+			ticks++
+		}
+	})
+	end := env.RunUntil(35)
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3", ticks)
+	}
+	if end != 30 {
+		t.Errorf("end = %v, want 30", end)
+	}
+	// Resume to completion.
+	env.Run()
+	if ticks != 100 {
+		t.Errorf("ticks after full run = %d", ticks)
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	env := NewEnv()
+	var childTime float64
+	env.Go("parent", func(p *Proc) {
+		p.Sleep(7)
+		env.Go("child", func(c *Proc) {
+			c.Sleep(3)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	env.Run()
+	if childTime != 10 {
+		t.Errorf("child completed at %v, want 10", childTime)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env)
+	var got []int
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			q.Put(i)
+		}
+	})
+	env.Run()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env)
+	if _, ok := q.TryGet(); ok {
+		t.Error("empty TryGet must fail")
+	}
+	q.Put("x")
+	if q.Len() != 1 {
+		t.Error("Len wrong")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != "x" {
+		t.Errorf("TryGet = %v, %v", v, ok)
+	}
+}
+
+func TestQueueMultipleConsumersFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env)
+	var got []string
+	mk := func(name string) {
+		env.Go(name, func(p *Proc) {
+			v := q.Get(p)
+			got = append(got, name+":"+v.(string))
+		})
+	}
+	mk("c1")
+	mk("c2")
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(1)
+		q.Put("a")
+		p.Sleep(1)
+		q.Put("b")
+	})
+	env.Run()
+	if !reflect.DeepEqual(got, []string{"c1:a", "c2:b"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 1)
+	var spans [][2]float64
+	worker := func(name string) {
+		env.Go(name, func(p *Proc) {
+			r.Acquire(p, 1)
+			start := p.Now()
+			p.Sleep(10)
+			r.Release(1)
+			spans = append(spans, [2]float64{start, p.Now()})
+		})
+	}
+	worker("w1")
+	worker("w2")
+	worker("w3")
+	env.Run()
+	want := [][2]float64{{0, 10}, {10, 20}, {20, 30}}
+	if !reflect.DeepEqual(spans, want) {
+		t.Errorf("spans = %v, want serialized %v", spans, want)
+	}
+	if r.InUse() != 0 {
+		t.Error("resource not fully released")
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			p.Sleep(10)
+			r.Release(1)
+			done = append(done, p.Now())
+		})
+	}
+	env.Run()
+	if !reflect.DeepEqual(done, []float64{10, 10, 20, 20}) {
+		t.Errorf("done = %v", done)
+	}
+}
+
+func TestResourceAcquireTooMuchPanics(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 1)
+	env.Go("w", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Acquire above capacity must panic")
+			}
+		}()
+		r.Acquire(p, 2)
+	})
+	env.Run()
+}
+
+func TestMutex(t *testing.T) {
+	env := NewEnv()
+	m := NewMutex(env)
+	var order []string
+	env.Go("w1", func(p *Proc) {
+		m.Lock(p)
+		if !m.Locked() {
+			t.Error("mutex must report locked")
+		}
+		p.Sleep(5)
+		order = append(order, "w1")
+		m.Unlock()
+	})
+	env.Go("w2", func(p *Proc) {
+		m.Lock(p)
+		order = append(order, "w2")
+		m.Unlock()
+	})
+	env.Run()
+	if !reflect.DeepEqual(order, []string{"w1", "w2"}) {
+		t.Errorf("order = %v", order)
+	}
+	if m.Locked() {
+		t.Error("mutex must be free at end")
+	}
+}
+
+func TestLinkLatencyAndBandwidth(t *testing.T) {
+	env := NewEnv()
+	// 8 Mb/s, 100 ms: 1 MB takes 1000 ms tx + 100 ms propagation.
+	l := NewLink(env, 100, 8)
+	var delay float64
+	env.Go("sender", func(p *Proc) {
+		delay = l.Transfer(p, 1_000_000)
+	})
+	env.Run()
+	if math.Abs(delay-1100) > 1e-6 {
+		t.Errorf("delay = %v, want 1100", delay)
+	}
+	if l.BytesCarried != 1_000_000 {
+		t.Errorf("BytesCarried = %d", l.BytesCarried)
+	}
+}
+
+func TestLinkSerializesTransfers(t *testing.T) {
+	env := NewEnv()
+	l := NewLink(env, 0, 8) // 1 MB = 1000 ms
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		env.Go("s", func(p *Proc) {
+			l.Transfer(p, 1_000_000)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run()
+	if !reflect.DeepEqual(ends, []float64{1000, 2000}) {
+		t.Errorf("ends = %v: transfers must queue", ends)
+	}
+}
+
+func TestLinkInfiniteBandwidth(t *testing.T) {
+	env := NewEnv()
+	l := NewLink(env, 5, 0)
+	var delay float64
+	env.Go("s", func(p *Proc) { delay = l.Transfer(p, 1<<30) })
+	env.Run()
+	if delay != 5 {
+		t.Errorf("delay = %v, want latency only", delay)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlock must panic")
+		}
+	}()
+	env := NewEnv()
+	q := NewQueue(env)
+	env.Go("stuck", func(p *Proc) { q.Get(p) })
+	env.Run()
+}
+
+func TestProcNameAndEnv(t *testing.T) {
+	env := NewEnv()
+	env.Go("worker", func(p *Proc) {
+		if p.Name() != "worker" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Env() != env {
+			t.Error("Env mismatch")
+		}
+		if p.Now() != env.Now() {
+			t.Error("Now mismatch")
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,200 @@
+package smock
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/planner"
+	"partsvc/internal/transport"
+)
+
+// Engine is the deployment engine: it realizes a planner deployment by
+// sending install orders to node wrappers, provider-first, wiring each
+// component to its upstream's serving address (Figure 1, step 5).
+type Engine struct {
+	tr transport.Transport
+
+	mu       sync.Mutex
+	wrappers map[netmodel.NodeID]*NodeWrapper
+	// instances tracks live instances by placement key so reused
+	// placements resolve to their existing address and edge secret.
+	instances map[string]instanceInfo
+	counter   int
+}
+
+type instanceInfo struct {
+	addr        string
+	serveSecret []byte
+	instanceID  string
+	node        netmodel.NodeID
+	// upstreamAddr is the provider address this instance was wired to
+	// at install time ("" for terminals and adopted instances). A reuse
+	// whose planned provider resolves to a different address is stale
+	// and must be reinstalled; because deployments resolve tail-to-head,
+	// a replaced provider cascades fresh wiring toward the client. Data
+	// views recover their state from the coherence directory, so the
+	// replacement is state-preserving.
+	upstreamAddr string
+}
+
+// NewEngine returns an engine over one transport.
+func NewEngine(tr transport.Transport) *Engine {
+	return &Engine{tr: tr, wrappers: map[netmodel.NodeID]*NodeWrapper{}, instances: map[string]instanceInfo{}}
+}
+
+// RegisterWrapper makes a node's wrapper available for installs.
+func (e *Engine) RegisterWrapper(w *NodeWrapper) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wrappers[w.Node()] = w
+}
+
+// AdoptInstance records a pre-deployed instance (e.g. the primary
+// MailServer) so plans can link to it.
+func (e *Engine) AdoptInstance(p planner.Placement, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.instances[p.Key()] = instanceInfo{addr: addr, node: p.Node}
+}
+
+// Teardown uninstalls a placement's instance and forgets it. Adopted
+// instances (installed outside the engine) are only forgotten.
+func (e *Engine) Teardown(p planner.Placement) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := p.Key()
+	info, ok := e.instances[key]
+	if !ok {
+		return fmt.Errorf("smock: no instance for %s", key)
+	}
+	delete(e.instances, key)
+	if info.instanceID == "" {
+		return nil // adopted; its owner uninstalls it
+	}
+	w, ok := e.wrappers[info.node]
+	if !ok {
+		return fmt.Errorf("smock: no wrapper for node %s", info.node)
+	}
+	return w.Uninstall(info.instanceID)
+}
+
+// Apply realizes a planner adaptation diff: instances evicted by
+// revalidation are torn down immediately (their nodes may no longer be
+// trusted with them), the new deployment is executed, and instances the
+// diff marks Remove are left running to drain — live components
+// installed earlier may still be wired through them, and safe teardown
+// requires the quiescence detection that both the paper and this
+// reproduction defer ("needs to carefully consider the internal state
+// of components as well as any partially processed requests"). It
+// returns the new head address.
+func (e *Engine) Apply(diff *planner.Diff, svcRequires func(component string) (iface string, ok bool)) (string, error) {
+	for _, p := range diff.Evicted {
+		// Teardown is best-effort: the instance's node may already have
+		// left the network.
+		_ = e.Teardown(p)
+	}
+	return e.Execute(diff.New, svcRequires)
+}
+
+// AddrOf resolves a placement to its live instance address.
+func (e *Engine) AddrOf(p planner.Placement) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info, ok := e.instances[p.Key()]
+	return info.addr, ok
+}
+
+// InstanceCount returns the number of live instances the engine knows.
+func (e *Engine) InstanceCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.instances)
+}
+
+// Execute deploys every new placement of the deployment, provider
+// first, and returns the address of the head component (the
+// service-specific proxy target). Reused placements resolve to their
+// recorded addresses.
+func (e *Engine) Execute(dep *planner.Deployment, svcRequires func(component string) (iface string, ok bool)) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(dep.Placements)
+	addrs := make([]string, n)
+	secrets := make([][]byte, n) // secrets[i] = secret of edge i -> i+1
+
+	// Resolve or install tail-to-head so upstream addresses exist when
+	// clients are activated.
+	for i := n - 1; i >= 0; i-- {
+		p := dep.Placements[i]
+		key := p.Key()
+		wantUpstream := ""
+		if i < n-1 {
+			wantUpstream = addrs[i+1]
+		}
+		if info, ok := e.instances[key]; ok {
+			adopted := info.instanceID == ""
+			// A terminal reuse (the plan's chain ends at this instance)
+			// keeps its own upstream wiring; only interior positions
+			// must match the planned provider's address.
+			terminal := i == n-1
+			if adopted || terminal || info.upstreamAddr == wantUpstream {
+				addrs[i] = info.addr
+				if i > 0 {
+					secrets[i-1] = info.serveSecret
+				}
+				continue
+			}
+			// Stale wiring: the plan routes this instance to a different
+			// provider than it was installed with. Replace it; the old
+			// listener is closed and a fresh instance is wired below.
+			delete(e.instances, key)
+			if w, ok := e.wrappers[info.node]; ok {
+				_ = w.Uninstall(info.instanceID)
+			}
+		} else if p.Reused {
+			return "", fmt.Errorf("smock: plan reuses unknown instance %s", key)
+		}
+		w, ok := e.wrappers[p.Node]
+		if !ok {
+			return "", fmt.Errorf("smock: no wrapper registered for node %s", p.Node)
+		}
+		e.counter++
+		order := InstallOrder{
+			Component:       p.Component,
+			InstanceID:      fmt.Sprintf("%s#%d", key, e.counter),
+			Config:          p.Config,
+			Upstreams:       map[string]string{},
+			UpstreamSecrets: map[string][]byte{},
+		}
+		var serveSecret []byte
+		if i > 0 {
+			// Generate the secret this instance shares with its client.
+			serveSecret = make([]byte, 32)
+			if _, err := rand.Read(serveSecret); err != nil {
+				return "", fmt.Errorf("smock: edge secret: %w", err)
+			}
+			secrets[i-1] = serveSecret
+			order.ServeSecret = serveSecret
+		}
+		if i < n-1 {
+			iface, ok := svcRequires(p.Component)
+			if !ok {
+				return "", fmt.Errorf("smock: component %q has a provider but no required interface", p.Component)
+			}
+			order.Upstreams[iface] = addrs[i+1]
+			order.UpstreamSecrets[iface] = secrets[i]
+		}
+		addr, err := w.Install(order)
+		if err != nil {
+			return "", err
+		}
+		addrs[i] = addr
+		e.instances[key] = instanceInfo{
+			addr: addr, serveSecret: serveSecret,
+			instanceID: order.InstanceID, node: p.Node, upstreamAddr: wantUpstream,
+		}
+	}
+	return addrs[0], nil
+}

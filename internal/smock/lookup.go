@@ -1,0 +1,108 @@
+package smock
+
+import (
+	"fmt"
+	"sync"
+
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// Entry is one registered service in the lookup namespace.
+type Entry struct {
+	// Service is the service name.
+	Service string
+	// Attrs are free-form attributes for attribute-based lookup
+	// ("clients locate and download the proxy by using an
+	// attribute-based lookup service").
+	Attrs map[string]string
+	// ServerAddr is the generic server's address — the "generic proxy"
+	// payload a client downloads.
+	ServerAddr string
+}
+
+// Lookup is the Jini-like lookup service (Figure 1, steps 1-2).
+type Lookup struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// NewLookup returns an empty lookup service.
+func NewLookup() *Lookup { return &Lookup{} }
+
+// Register adds a service entry (Figure 1, step 1). Re-registering a
+// service name replaces the previous entry.
+func (l *Lookup) Register(e Entry) error {
+	if e.Service == "" || e.ServerAddr == "" {
+		return fmt.Errorf("smock: lookup registration needs service and server address")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		if l.entries[i].Service == e.Service {
+			l.entries[i] = e
+			return nil
+		}
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// Find returns the entries whose attributes contain every given
+// attribute (empty attrs match everything). Service name, when
+// non-empty, must match exactly.
+func (l *Lookup) Find(service string, attrs map[string]string) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if service != "" && e.Service != service {
+			continue
+		}
+		match := true
+		for k, v := range attrs {
+			if e.Attrs[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Handler exposes the lookup service over a transport: method
+// "register" with meta {service, addr, attr.<k>: v}, and method
+// "lookup" with meta {service?, attr.<k>: v} returning meta
+// {addr, service} of the first match.
+func (l *Lookup) Handler() transport.Handler {
+	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		attrs := map[string]string{}
+		for k, v := range m.Meta {
+			if len(k) > 5 && k[:5] == "attr." {
+				attrs[k[5:]] = v
+			}
+		}
+		switch m.Method {
+		case "register":
+			err := l.Register(Entry{Service: m.Meta["service"], Attrs: attrs, ServerAddr: m.Meta["addr"]})
+			if err != nil {
+				return transport.ErrorResponse(m, "%v", err)
+			}
+			return &wire.Message{Kind: wire.KindResponse, ID: m.ID}
+		case "lookup":
+			found := l.Find(m.Meta["service"], attrs)
+			if len(found) == 0 {
+				return transport.ErrorResponse(m, "lookup: no service matches")
+			}
+			return &wire.Message{
+				Kind: wire.KindResponse, ID: m.ID,
+				Meta: map[string]string{"service": found[0].Service, "addr": found[0].ServerAddr},
+			}
+		default:
+			return transport.ErrorResponse(m, "lookup: unknown method %q", m.Method)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package smock
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/planner"
+	"partsvc/internal/spec"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// AccessMethod is the generic server's access request method.
+const AccessMethod = "access"
+
+// GenericServer coordinates one service: it receives a client's first
+// request with supporting credentials (Figure 1, step 3), consults the
+// planner (step 4), drives the deployment engine (step 5), and returns
+// the head component's address for the proxy to rebind to.
+type GenericServer struct {
+	svc    *spec.Service
+	engine *Engine
+
+	mu sync.Mutex // the planner is not concurrent-safe
+	pl *planner.Planner
+}
+
+// NewGenericServer binds a specification, planner, and engine.
+func NewGenericServer(svc *spec.Service, pl *planner.Planner, engine *Engine) *GenericServer {
+	return &GenericServer{svc: svc, pl: pl, engine: engine}
+}
+
+// Planner exposes the planner (e.g. to pre-register primaries).
+func (g *GenericServer) Planner() *planner.Planner { return g.pl }
+
+// Access plans and deploys for one client request, returning the head
+// component address and the deployment.
+func (g *GenericServer) Access(req planner.Request) (string, *planner.Deployment, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dep, err := g.pl.Plan(req)
+	if err != nil {
+		return "", nil, err
+	}
+	addr, err := g.engine.Execute(dep, func(component string) (string, bool) {
+		comp, ok := g.svc.Component(component)
+		if !ok || len(comp.Requires) == 0 {
+			return "", false
+		}
+		return comp.Requires[0].Name, true
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	// Future requests may reuse and link to what was just deployed.
+	g.pl.AddExisting(dep.Placements...)
+	return addr, dep, nil
+}
+
+// Handler serves Access over a transport. Request meta: interface,
+// node, user, rate. Response meta: addr, deployment.
+func (g *GenericServer) Handler() transport.Handler {
+	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		if m.Method != AccessMethod {
+			return transport.ErrorResponse(m, "generic server: unknown method %q", m.Method)
+		}
+		rate, _ := strconv.ParseFloat(m.Meta["rate"], 64)
+		req := planner.Request{
+			Interface:  m.Meta["interface"],
+			ClientNode: netmodel.NodeID(m.Meta["node"]),
+			User:       m.Meta["user"],
+			RateRPS:    rate,
+		}
+		addr, dep, err := g.Access(req)
+		if err != nil {
+			return transport.ErrorResponse(m, "%v", err)
+		}
+		return &wire.Message{
+			Kind: wire.KindResponse, ID: m.ID,
+			Meta: map[string]string{"addr": addr, "deployment": dep.String()},
+		}
+	})
+}
+
+// GenericProxy is the client-side generic proxy: downloaded from the
+// lookup service, it forwards the first request to the generic server
+// and then "replaces itself with a service-specific proxy" — an
+// endpoint bound directly to the deployed head component.
+type GenericProxy struct {
+	tr        transport.Transport
+	serverEp  transport.Endpoint
+	Interface string
+	Node      netmodel.NodeID
+	User      string
+	RateRPS   float64
+
+	mu         sync.Mutex
+	bound      transport.Endpoint
+	Deployment string
+}
+
+// NewGenericProxy dials the generic server found in the lookup service.
+func NewGenericProxy(tr transport.Transport, lookup *Lookup, service string, attrs map[string]string) (*GenericProxy, error) {
+	entries := lookup.Find(service, attrs)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("smock: no service %q in lookup", service)
+	}
+	ep, err := tr.Dial(entries[0].ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &GenericProxy{tr: tr, serverEp: ep}, nil
+}
+
+// ensureBound performs the one-time deployment handshake.
+func (p *GenericProxy) ensureBound() (transport.Endpoint, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound != nil {
+		return p.bound, nil
+	}
+	resp, err := p.serverEp.Call(&wire.Message{
+		Kind: wire.KindRequest, Method: AccessMethod,
+		Meta: map[string]string{
+			"interface": p.Interface,
+			"node":      string(p.Node),
+			"user":      p.User,
+			"rate":      strconv.FormatFloat(p.RateRPS, 'f', -1, 64),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.AsError(resp); err != nil {
+		return nil, err
+	}
+	p.Deployment = resp.Meta["deployment"]
+	ep, err := p.tr.Dial(resp.Meta["addr"])
+	if err != nil {
+		return nil, err
+	}
+	p.bound = ep
+	return ep, nil
+}
+
+// Call forwards a message to the deployed head component, deploying on
+// first use.
+func (p *GenericProxy) Call(m *wire.Message) (*wire.Message, error) {
+	ep, err := p.ensureBound()
+	if err != nil {
+		return nil, fmt.Errorf("smock: proxy binding: %w", err)
+	}
+	return ep.Call(m)
+}
+
+// Close releases both the server handshake endpoint and the bound
+// endpoint.
+func (p *GenericProxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound != nil {
+		p.bound.Close()
+	}
+	return p.serverEp.Close()
+}

@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"partsvc/internal/property"
+)
+
+// Validate checks the specification for internal consistency: unique
+// names, resolvable references, property values within their declared
+// ranges, and views that represent existing components. It returns all
+// problems found, joined with errors.Join, or nil.
+func (s *Service) Validate() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if s.Name == "" {
+		report("service has no name")
+	}
+
+	props := map[string]property.Type{}
+	for _, p := range s.Properties {
+		if p.Name == "" {
+			report("property with empty name")
+			continue
+		}
+		if _, dup := props[p.Name]; dup {
+			report("duplicate property %q", p.Name)
+		}
+		if p.Kind == property.KindInvalid {
+			report("property %q has no kind", p.Name)
+		}
+		if p.Kind == property.KindInt && p.Hi < p.Lo {
+			report("property %q has empty range (%d,%d)", p.Name, p.Lo, p.Hi)
+		}
+		props[p.Name] = p
+	}
+
+	ifaces := map[string]InterfaceDecl{}
+	for _, i := range s.Interfaces {
+		if i.Name == "" {
+			report("interface with empty name")
+			continue
+		}
+		if _, dup := ifaces[i.Name]; dup {
+			report("duplicate interface %q", i.Name)
+		}
+		for _, pn := range i.Properties {
+			if _, ok := props[pn]; !ok {
+				report("interface %q references undeclared property %q", i.Name, pn)
+			}
+		}
+		ifaces[i.Name] = i
+	}
+
+	comps := map[string]Component{}
+	for _, c := range s.Components {
+		if c.Name == "" {
+			report("component with empty name")
+			continue
+		}
+		if _, dup := comps[c.Name]; dup {
+			report("duplicate component %q", c.Name)
+		}
+		comps[c.Name] = c
+	}
+
+	checkIfaceSpec := func(cname, section string, is InterfaceSpec) {
+		decl, ok := ifaces[is.Name]
+		if !ok {
+			report("component %q %s undeclared interface %q", cname, section, is.Name)
+			return
+		}
+		for pn, expr := range is.Props {
+			if !decl.HasProperty(pn) {
+				report("component %q %s interface %q with property %q not declared on that interface", cname, section, is.Name, pn)
+			}
+			ty, ok := props[pn]
+			if !ok {
+				continue // already reported via interface check
+			}
+			if !expr.IsRef() && expr.LitValue().IsValid() {
+				if err := ty.Check(expr.LitValue()); err != nil {
+					report("component %q %s interface %q: %v", cname, section, is.Name, err)
+				}
+			}
+			if expr.IsZero() {
+				report("component %q %s interface %q property %q has empty expression", cname, section, is.Name, pn)
+			}
+		}
+	}
+
+	for _, c := range s.Components {
+		for _, is := range c.Implements {
+			checkIfaceSpec(c.Name, "implements", is)
+		}
+		for _, is := range c.Requires {
+			checkIfaceSpec(c.Name, "requires", is)
+		}
+		if len(c.Implements) == 0 {
+			report("component %q implements no interfaces", c.Name)
+		}
+		if c.Represents != "" {
+			base, ok := comps[c.Represents]
+			if !ok {
+				report("view %q represents unknown component %q", c.Name, c.Represents)
+			} else if base.IsView() {
+				report("view %q represents another view %q", c.Name, c.Represents)
+			}
+			if c.Kind == NotView {
+				report("view %q does not declare an object/data kind", c.Name)
+			}
+		} else if c.Kind != NotView {
+			report("component %q declares a view kind but represents nothing", c.Name)
+		}
+		for pn, expr := range c.Factors {
+			if _, ok := props[pn]; !ok {
+				report("component %q factors undeclared property %q", c.Name, pn)
+			}
+			if expr.IsZero() {
+				report("component %q factor %q has empty expression", c.Name, pn)
+			}
+		}
+		if b := c.Behaviors; b.RRF < 0 || b.RRF > 1 {
+			report("component %q has RRF %v outside [0,1]", c.Name, b.RRF)
+		}
+	}
+
+	for name := range s.ModRules {
+		if _, ok := props[name]; !ok {
+			report("modification rule for undeclared property %q", name)
+		}
+	}
+
+	// Every required interface must have at least one implementer,
+	// otherwise no valid linkage graph can ever be built.
+	for _, c := range s.Components {
+		for _, req := range c.Requires {
+			if len(s.ImplementersOf(req.Name)) == 0 {
+				report("component %q requires interface %q which no component implements", c.Name, req.Name)
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}

@@ -1,0 +1,183 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"partsvc/internal/property"
+)
+
+// minimalValid returns the smallest specification that passes Validate.
+func minimalValid() *Service {
+	return &Service{
+		Name:       "svc",
+		Properties: []property.Type{property.BoolType("C")},
+		Interfaces: []InterfaceDecl{{Name: "I", Properties: []string{"C"}}},
+		Components: []Component{{
+			Name: "Server",
+			Implements: []InterfaceSpec{{
+				Name:  "I",
+				Props: map[string]property.Expr{"C": property.Lit(property.Bool(true))},
+			}},
+		}},
+		ModRules: property.RuleTable{},
+	}
+}
+
+func TestValidateMinimal(t *testing.T) {
+	if err := minimalValid().Validate(); err != nil {
+		t.Fatalf("minimal spec must validate: %v", err)
+	}
+}
+
+func expectInvalid(t *testing.T, s *Service, wantSubstr string) {
+	t.Helper()
+	err := s.Validate()
+	if err == nil {
+		t.Fatalf("expected validation error containing %q, got nil", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("validation error %q does not mention %q", err, wantSubstr)
+	}
+}
+
+func TestValidateRejectsEmptyName(t *testing.T) {
+	s := minimalValid()
+	s.Name = ""
+	expectInvalid(t, s, "no name")
+}
+
+func TestValidateRejectsDuplicateProperty(t *testing.T) {
+	s := minimalValid()
+	s.Properties = append(s.Properties, property.BoolType("C"))
+	expectInvalid(t, s, "duplicate property")
+}
+
+func TestValidateRejectsEmptyIntervalRange(t *testing.T) {
+	s := minimalValid()
+	s.Properties = append(s.Properties, property.IntervalType("R", 5, 1))
+	expectInvalid(t, s, "empty range")
+}
+
+func TestValidateRejectsDuplicateInterface(t *testing.T) {
+	s := minimalValid()
+	s.Interfaces = append(s.Interfaces, InterfaceDecl{Name: "I"})
+	expectInvalid(t, s, "duplicate interface")
+}
+
+func TestValidateRejectsUndeclaredPropertyOnInterface(t *testing.T) {
+	s := minimalValid()
+	s.Interfaces[0].Properties = append(s.Interfaces[0].Properties, "Ghost")
+	expectInvalid(t, s, `undeclared property "Ghost"`)
+}
+
+func TestValidateRejectsDuplicateComponent(t *testing.T) {
+	s := minimalValid()
+	s.Components = append(s.Components, s.Components[0])
+	expectInvalid(t, s, "duplicate component")
+}
+
+func TestValidateRejectsUnknownImplementedInterface(t *testing.T) {
+	s := minimalValid()
+	s.Components[0].Implements = append(s.Components[0].Implements, InterfaceSpec{Name: "Ghost"})
+	expectInvalid(t, s, `undeclared interface "Ghost"`)
+}
+
+func TestValidateRejectsUnknownRequiredInterface(t *testing.T) {
+	s := minimalValid()
+	s.Components[0].Requires = []InterfaceSpec{{Name: "Ghost"}}
+	expectInvalid(t, s, `undeclared interface "Ghost"`)
+}
+
+func TestValidateRejectsPropertyNotOnInterface(t *testing.T) {
+	s := minimalValid()
+	s.Properties = append(s.Properties, property.BoolType("D"))
+	s.Components[0].Implements[0].Props["D"] = property.Lit(property.Bool(true))
+	expectInvalid(t, s, `property "D" not declared on that interface`)
+}
+
+func TestValidateRejectsOutOfRangeLiteral(t *testing.T) {
+	s := minimalValid()
+	s.Properties = append(s.Properties, property.IntervalType("TL", 1, 5))
+	s.Interfaces[0].Properties = append(s.Interfaces[0].Properties, "TL")
+	s.Components[0].Implements[0].Props["TL"] = property.Lit(property.Int(9))
+	expectInvalid(t, s, "outside range")
+}
+
+func TestValidateRejectsComponentWithoutImplements(t *testing.T) {
+	s := minimalValid()
+	s.Components = append(s.Components, Component{Name: "Idle"})
+	expectInvalid(t, s, "implements no interfaces")
+}
+
+func TestValidateRejectsViewOfUnknownComponent(t *testing.T) {
+	s := minimalValid()
+	s.Components = append(s.Components, Component{
+		Name: "V", Represents: "Ghost", Kind: DataView,
+		Implements: s.Components[0].Implements,
+	})
+	expectInvalid(t, s, `represents unknown component "Ghost"`)
+}
+
+func TestValidateRejectsViewOfView(t *testing.T) {
+	s := minimalValid()
+	s.Components = append(s.Components,
+		Component{Name: "V", Represents: "Server", Kind: DataView, Implements: s.Components[0].Implements},
+		Component{Name: "VV", Represents: "V", Kind: DataView, Implements: s.Components[0].Implements},
+	)
+	expectInvalid(t, s, "represents another view")
+}
+
+func TestValidateRejectsViewWithoutKind(t *testing.T) {
+	s := minimalValid()
+	s.Components = append(s.Components, Component{
+		Name: "V", Represents: "Server",
+		Implements: s.Components[0].Implements,
+	})
+	expectInvalid(t, s, "does not declare an object/data kind")
+}
+
+func TestValidateRejectsKindWithoutRepresents(t *testing.T) {
+	s := minimalValid()
+	s.Components[0].Kind = DataView
+	expectInvalid(t, s, "represents nothing")
+}
+
+func TestValidateRejectsFactorOfUndeclaredProperty(t *testing.T) {
+	s := minimalValid()
+	s.Components[0].Factors = map[string]property.Expr{"Ghost": property.Ref("Node.Ghost")}
+	expectInvalid(t, s, `factors undeclared property "Ghost"`)
+}
+
+func TestValidateRejectsBadRRF(t *testing.T) {
+	s := minimalValid()
+	s.Components[0].Behaviors.RRF = 1.5
+	expectInvalid(t, s, "RRF")
+}
+
+func TestValidateRejectsModRuleForUnknownProperty(t *testing.T) {
+	s := minimalValid()
+	s.ModRules["Ghost"] = property.ConfidentialityRule("Ghost")
+	expectInvalid(t, s, `modification rule for undeclared property "Ghost"`)
+}
+
+func TestValidateRejectsUnsatisfiableRequire(t *testing.T) {
+	s := minimalValid()
+	s.Interfaces = append(s.Interfaces, InterfaceDecl{Name: "J"})
+	s.Components[0].Requires = []InterfaceSpec{{Name: "J"}}
+	expectInvalid(t, s, "which no component implements")
+}
+
+func TestValidateAccumulatesMultipleErrors(t *testing.T) {
+	s := minimalValid()
+	s.Name = ""
+	s.Components[0].Behaviors.RRF = -1
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no name") || !strings.Contains(msg, "RRF") {
+		t.Errorf("expected both errors reported, got %q", msg)
+	}
+}

@@ -1,0 +1,343 @@
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"partsvc/internal/property"
+)
+
+// The on-disk specification format is XML, as in the paper's
+// implementation ("Our service specifications use an XML format").
+// The schema mirrors Figure 2's readable notation:
+//
+//	<Service name="mail">
+//	  <Property name="Confidentiality" type="Boolean"/>
+//	  <Property name="TrustLevel" type="Interval" lo="1" hi="5"/>
+//	  <Interface name="ServerInterface">
+//	    <Property>Confidentiality</Property>
+//	  </Interface>
+//	  <Component name="MailClient">
+//	    <Implements name="ClientInterface">
+//	      <Set property="Confidentiality" value="F"/>
+//	    </Implements>
+//	    <Requires name="ServerInterface">...</Requires>
+//	    <Condition>User = Alice</Condition>
+//	    <Behaviors capacity="1000" rrf="0.2"/>
+//	  </Component>
+//	  <View name="ViewMailServer" represents="MailServer" kind="data">
+//	    <Factor property="TrustLevel" value="Node.TrustLevel"/>
+//	    ...
+//	  </View>
+//	  <PropertyModificationRule property="Confidentiality">
+//	    <Rule in="T" env="T" out="T"/>
+//	  </PropertyModificationRule>
+//	</Service>
+
+type xmlService struct {
+	XMLName    xml.Name       `xml:"Service"`
+	Name       string         `xml:"name,attr"`
+	Properties []xmlProperty  `xml:"Property"`
+	Interfaces []xmlInterface `xml:"Interface"`
+	Components []xmlComponent `xml:"Component"`
+	Views      []xmlComponent `xml:"View"`
+	ModRules   []xmlModRule   `xml:"PropertyModificationRule"`
+}
+
+type xmlProperty struct {
+	Name string   `xml:"name,attr"`
+	Type string   `xml:"type,attr"`
+	Lo   int64    `xml:"lo,attr,omitempty"`
+	Hi   int64    `xml:"hi,attr,omitempty"`
+	Enum []string `xml:"Value,omitempty"`
+}
+
+type xmlInterface struct {
+	Name       string   `xml:"name,attr"`
+	Properties []string `xml:"Property"`
+}
+
+type xmlSet struct {
+	Property string `xml:"property,attr"`
+	Value    string `xml:"value,attr"`
+}
+
+type xmlIfaceSpec struct {
+	Name string   `xml:"name,attr"`
+	Sets []xmlSet `xml:"Set"`
+}
+
+type xmlBehaviors struct {
+	Capacity      float64 `xml:"capacity,attr,omitempty"`
+	RRF           float64 `xml:"rrf,attr,omitempty"`
+	CPUMS         float64 `xml:"cpums,attr,omitempty"`
+	RequestBytes  int     `xml:"reqbytes,attr,omitempty"`
+	ResponseBytes int     `xml:"respbytes,attr,omitempty"`
+}
+
+type xmlComponent struct {
+	Name       string         `xml:"name,attr"`
+	Represents string         `xml:"represents,attr,omitempty"`
+	Kind       string         `xml:"kind,attr,omitempty"`
+	Factors    []xmlSet       `xml:"Factor"`
+	Implements []xmlIfaceSpec `xml:"Implements"`
+	Requires   []xmlIfaceSpec `xml:"Requires"`
+	Conditions []string       `xml:"Condition"`
+	Behaviors  *xmlBehaviors  `xml:"Behaviors"`
+}
+
+type xmlModRule struct {
+	Property string        `xml:"property,attr"`
+	Rules    []xmlRuleRow  `xml:"Rule"`
+	Default  *xmlRuleRowRH `xml:"Default"`
+}
+
+type xmlRuleRow struct {
+	In  string `xml:"in,attr"`
+	Env string `xml:"env,attr"`
+	Out string `xml:"out,attr"`
+}
+
+type xmlRuleRowRH struct {
+	Out string `xml:"out,attr"`
+}
+
+// EncodeXML writes the specification as indented XML.
+func (s *Service) EncodeXML(w io.Writer) error {
+	xs := xmlService{Name: s.Name}
+	for _, p := range s.Properties {
+		xp := xmlProperty{Name: p.Name}
+		switch p.Kind {
+		case property.KindBool:
+			xp.Type = "Boolean"
+		case property.KindInt:
+			xp.Type = "Interval"
+			xp.Lo, xp.Hi = p.Lo, p.Hi
+		case property.KindString:
+			xp.Type = "String"
+			xp.Enum = p.Enum
+		}
+		xs.Properties = append(xs.Properties, xp)
+	}
+	for _, i := range s.Interfaces {
+		xs.Interfaces = append(xs.Interfaces, xmlInterface{Name: i.Name, Properties: i.Properties})
+	}
+	for _, c := range s.Components {
+		xc := xmlComponent{
+			Name:       c.Name,
+			Represents: c.Represents,
+			Factors:    exprMapToSets(c.Factors),
+		}
+		if c.IsView() {
+			xc.Kind = c.Kind.String()
+		}
+		for _, is := range c.Implements {
+			xc.Implements = append(xc.Implements, ifaceSpecToXML(is))
+		}
+		for _, is := range c.Requires {
+			xc.Requires = append(xc.Requires, ifaceSpecToXML(is))
+		}
+		for _, cond := range c.Conditions {
+			xc.Conditions = append(xc.Conditions, cond.String())
+		}
+		if b := c.Behaviors; b != (Behaviors{}) {
+			xc.Behaviors = &xmlBehaviors{
+				Capacity: b.CapacityRPS, RRF: b.RRF, CPUMS: b.CPUMSPerRequest,
+				RequestBytes: b.RequestBytes, ResponseBytes: b.ResponseBytes,
+			}
+		}
+		if c.IsView() {
+			xs.Views = append(xs.Views, xc)
+		} else {
+			xs.Components = append(xs.Components, xc)
+		}
+	}
+	ruleNames := make([]string, 0, len(s.ModRules))
+	for name := range s.ModRules {
+		ruleNames = append(ruleNames, name)
+	}
+	sort.Strings(ruleNames)
+	for _, name := range ruleNames {
+		m := s.ModRules[name]
+		xr := xmlModRule{Property: name}
+		for _, r := range m.Rules {
+			xr.Rules = append(xr.Rules, xmlRuleRow{In: r.In.String(), Env: r.Env.String(), Out: r.Out.String()})
+		}
+		if m.Default != nil {
+			xr.Default = &xmlRuleRowRH{Out: m.Default.String()}
+		}
+		xs.ModRules = append(xs.ModRules, xr)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(xs); err != nil {
+		return fmt.Errorf("spec: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// DecodeXML parses a specification from XML. The result is not
+// automatically validated; call Validate.
+func DecodeXML(r io.Reader) (*Service, error) {
+	var xs xmlService
+	if err := xml.NewDecoder(r).Decode(&xs); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	s := &Service{Name: xs.Name, ModRules: property.RuleTable{}}
+	for _, xp := range xs.Properties {
+		switch xp.Type {
+		case "Boolean":
+			s.Properties = append(s.Properties, property.BoolType(xp.Name))
+		case "Interval":
+			s.Properties = append(s.Properties, property.IntervalType(xp.Name, xp.Lo, xp.Hi))
+		case "String":
+			s.Properties = append(s.Properties, property.Type{Name: xp.Name, Kind: property.KindString, Enum: xp.Enum})
+		default:
+			return nil, fmt.Errorf("spec: property %q has unknown type %q", xp.Name, xp.Type)
+		}
+	}
+	for _, xi := range xs.Interfaces {
+		s.Interfaces = append(s.Interfaces, InterfaceDecl{Name: xi.Name, Properties: xi.Properties})
+	}
+	decodeComp := func(xc xmlComponent, isView bool) (Component, error) {
+		c := Component{Name: xc.Name, Represents: xc.Represents}
+		if isView {
+			switch xc.Kind {
+			case "object":
+				c.Kind = ObjectView
+			case "data":
+				c.Kind = DataView
+			default:
+				return c, fmt.Errorf("spec: view %q has unknown kind %q", xc.Name, xc.Kind)
+			}
+		}
+		if len(xc.Factors) > 0 {
+			c.Factors = setsToExprMap(xc.Factors)
+		}
+		for _, xi := range xc.Implements {
+			c.Implements = append(c.Implements, xmlToIfaceSpec(xi))
+		}
+		for _, xi := range xc.Requires {
+			c.Requires = append(c.Requires, xmlToIfaceSpec(xi))
+		}
+		for _, text := range xc.Conditions {
+			cond, err := property.ParseCondition(text)
+			if err != nil {
+				return c, fmt.Errorf("spec: component %q: %w", xc.Name, err)
+			}
+			c.Conditions = append(c.Conditions, cond)
+		}
+		if xc.Behaviors != nil {
+			c.Behaviors = Behaviors{
+				CapacityRPS: xc.Behaviors.Capacity, RRF: xc.Behaviors.RRF,
+				CPUMSPerRequest: xc.Behaviors.CPUMS,
+				RequestBytes:    xc.Behaviors.RequestBytes, ResponseBytes: xc.Behaviors.ResponseBytes,
+			}
+		}
+		return c, nil
+	}
+	for _, xc := range xs.Components {
+		c, err := decodeComp(xc, false)
+		if err != nil {
+			return nil, err
+		}
+		s.Components = append(s.Components, c)
+	}
+	for _, xc := range xs.Views {
+		c, err := decodeComp(xc, true)
+		if err != nil {
+			return nil, err
+		}
+		s.Components = append(s.Components, c)
+	}
+	for _, xr := range xs.ModRules {
+		m := property.ModRule{Property: xr.Property}
+		for _, row := range xr.Rules {
+			in, err := parsePattern(row.In)
+			if err != nil {
+				return nil, fmt.Errorf("spec: rule for %q: %w", xr.Property, err)
+			}
+			env, err := parsePattern(row.Env)
+			if err != nil {
+				return nil, fmt.Errorf("spec: rule for %q: %w", xr.Property, err)
+			}
+			out, err := parseOutcome(row.Out)
+			if err != nil {
+				return nil, fmt.Errorf("spec: rule for %q: %w", xr.Property, err)
+			}
+			m.Rules = append(m.Rules, property.Rule{In: in, Env: env, Out: out})
+		}
+		if xr.Default != nil {
+			out, err := parseOutcome(xr.Default.Out)
+			if err != nil {
+				return nil, fmt.Errorf("spec: default rule for %q: %w", xr.Property, err)
+			}
+			m.Default = &out
+		}
+		s.ModRules[xr.Property] = m
+	}
+	return s, nil
+}
+
+func ifaceSpecToXML(is InterfaceSpec) xmlIfaceSpec {
+	return xmlIfaceSpec{Name: is.Name, Sets: exprMapToSets(is.Props)}
+}
+
+func xmlToIfaceSpec(xi xmlIfaceSpec) InterfaceSpec {
+	return InterfaceSpec{Name: xi.Name, Props: setsToExprMap(xi.Sets)}
+}
+
+func exprMapToSets(m map[string]property.Expr) []xmlSet {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	sets := make([]xmlSet, 0, len(m))
+	for _, k := range names {
+		sets = append(sets, xmlSet{Property: k, Value: m[k].String()})
+	}
+	return sets
+}
+
+func setsToExprMap(sets []xmlSet) map[string]property.Expr {
+	if len(sets) == 0 {
+		return nil
+	}
+	m := make(map[string]property.Expr, len(sets))
+	for _, s := range sets {
+		m[s.Property] = property.ParseExpr(s.Value)
+	}
+	return m
+}
+
+func parsePattern(text string) (property.Pattern, error) {
+	if text == "ANY" {
+		return property.Any, nil
+	}
+	if text == "" {
+		return property.Pattern{}, fmt.Errorf("empty pattern")
+	}
+	return property.Exactly(property.Parse(text)), nil
+}
+
+func parseOutcome(text string) (property.Outcome, error) {
+	switch text {
+	case "IN":
+		return property.OutIn, nil
+	case "ENV":
+		return property.OutEnv, nil
+	case "MIN":
+		return property.OutMin, nil
+	case "MAX":
+		return property.OutMax, nil
+	case "":
+		return property.Outcome{}, fmt.Errorf("empty outcome")
+	}
+	return property.OutLit(property.Parse(text)), nil
+}

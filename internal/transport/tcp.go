@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"partsvc/internal/wire"
+)
+
+// TCP is the network transport: frames of wire-encoded messages over
+// TCP connections. Each accepted connection is served by its own
+// goroutine; each endpoint serializes its calls over one connection.
+type TCP struct{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Serve listens on addr ("host:port"; empty means "127.0.0.1:0") and
+// dispatches incoming messages to h.
+func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &tcpListener{ln: ln, h: h, conns: map[net.Conn]struct{}{}}
+	go l.acceptLoop()
+	return l, nil
+}
+
+type tcpListener struct {
+	ln     net.Listener
+	h      Handler
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *tcpListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (l *tcpListener) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		go l.serveConn(conn)
+	}
+}
+
+func (l *tcpListener) serveConn(conn net.Conn) {
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // closed or corrupt; drop the connection
+		}
+		req, err := wire.UnmarshalMessage(frame)
+		if err != nil {
+			return
+		}
+		resp := l.h.Handle(req)
+		if resp == nil {
+			resp = ErrorResponse(req, "handler returned nil")
+		}
+		data, err := resp.Marshal()
+		if err != nil {
+			data, _ = ErrorResponse(req, "encoding response: %v", err).Marshal()
+		}
+		if err := wire.WriteFrame(conn, data); err != nil {
+			return
+		}
+	}
+}
+
+// Dial connects to a served TCP address.
+func (t *TCP) Dial(addr string) (Endpoint, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpEndpoint{conn: conn}, nil
+}
+
+type tcpEndpoint struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+func (e *tcpEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding request: %w", err)
+	}
+	if err := wire.WriteFrame(e.conn, data); err != nil {
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(e.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading response: %w", err)
+	}
+	return wire.UnmarshalMessage(frame)
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.conn.Close()
+}

@@ -1,0 +1,292 @@
+// Package trust implements a dRBAC-style decentralized trust-management
+// substrate (the Section 6 extension of the paper): entities issue
+// credentials that grant roles to other entities or roles, delegation
+// chains are discovered by graph search, and roles translate into
+// service properties. This replaces the service-specific
+// credential-to-property translation functions with a service-
+// independent mechanism: "transforming properties in one namespace into
+// properties in another then becomes a simple matter of issuing a
+// different kind of credential".
+package trust
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/property"
+)
+
+// Role is a namespaced role, written "owner.name" (e.g.
+// "mailcorp.trust4"). The owner entity controls who may issue it.
+type Role string
+
+// Owner returns the namespace owner of the role.
+func (r Role) Owner() string {
+	if i := strings.IndexByte(string(r), '.'); i >= 0 {
+		return string(r)[:i]
+	}
+	return string(r)
+}
+
+// Valid reports whether the role has the "owner.name" shape.
+func (r Role) Valid() bool {
+	i := strings.IndexByte(string(r), '.')
+	return i > 0 && i < len(r)-1
+}
+
+// Credential asserts that Subject holds Role, issued by Issuer. When
+// Delegatable, the subject may in turn issue the role to others.
+type Credential struct {
+	// Subject is the entity (or role, for role-to-role delegation)
+	// receiving the role.
+	Subject string
+	// Role is the granted role.
+	Role Role
+	// Issuer is the entity asserting the grant.
+	Issuer string
+	// Delegatable marks whether the subject may further delegate.
+	Delegatable bool
+}
+
+// String renders the credential in dRBAC arrow notation.
+func (c Credential) String() string {
+	d := ""
+	if c.Delegatable {
+		d = " (delegatable)"
+	}
+	return fmt.Sprintf("%s -> %s [by %s]%s", c.Subject, c.Role, c.Issuer, d)
+}
+
+// Store is a credential repository supporting issuance, revocation, and
+// delegation-chain search. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	creds []Credential
+}
+
+// NewStore returns an empty credential store.
+func NewStore() *Store { return &Store{} }
+
+// Issue adds a credential after checking the issuer's authority: the
+// role's namespace owner may always issue it; any other issuer must
+// itself hold the role delegatably.
+func (s *Store) Issue(c Credential) error {
+	if !c.Role.Valid() {
+		return fmt.Errorf("trust: role %q is not of the form owner.name", c.Role)
+	}
+	if c.Subject == "" || c.Issuer == "" {
+		return fmt.Errorf("trust: credential needs subject and issuer")
+	}
+	if c.Issuer != c.Role.Owner() && !s.holdsRole(c.Issuer, c.Role, true) {
+		return fmt.Errorf("trust: %s may not issue %s (not owner, no delegatable grant)", c.Issuer, c.Role)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.creds = append(s.creds, c)
+	return nil
+}
+
+// Revoke removes every credential matching subject and role, returning
+// how many were removed. Chains through the revoked grant dissolve
+// immediately (searches consult live credentials only).
+func (s *Store) Revoke(subject string, role Role) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.creds[:0]
+	removed := 0
+	for _, c := range s.creds {
+		if c.Subject == subject && c.Role == role {
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.creds = kept
+	return removed
+}
+
+// HasRole reports whether the subject holds the role through any valid
+// credential chain.
+func (s *Store) HasRole(subject string, role Role) bool {
+	return s.holdsRole(subject, role, false)
+}
+
+// holdsRole searches for a chain granting role to subject. When
+// needDelegatable is true, every link must be delegatable (the chain
+// conveys issuing authority, not mere membership).
+func (s *Store) holdsRole(subject string, role Role, needDelegatable bool) bool {
+	chain := s.Prove(subject, role)
+	if chain == nil {
+		return false
+	}
+	if !needDelegatable {
+		return true
+	}
+	for _, c := range chain {
+		if !c.Delegatable {
+			return false
+		}
+	}
+	return true
+}
+
+// Prove returns a credential chain establishing that subject holds
+// role, or nil. The chain is ordered from the subject's own credential
+// toward the role owner's issuance. Prove prefers delegatable chains so
+// that a positive result from a delegatable search is reusable.
+func (s *Store) Prove(subject string, role Role) []Credential {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// BFS from the subject across "subject holds X" edges; an edge
+	// Subject->Role exists for each live credential whose issuer is
+	// authorized. Issuer authority itself requires a (sub)proof, so we
+	// do an iterative fixpoint: authorized issuers are the role owner
+	// and holders of the role via already-validated delegatable chains.
+	type holding struct {
+		role        Role
+		delegatable bool
+		chain       []Credential
+	}
+	// validated[subject][role] -> best holding (delegatable preferred).
+	validated := map[string]map[Role]holding{}
+	get := func(sub string) map[Role]holding {
+		if validated[sub] == nil {
+			validated[sub] = map[Role]holding{}
+		}
+		return validated[sub]
+	}
+	authorized := func(issuer string, role Role) ([]Credential, bool) {
+		if issuer == role.Owner() {
+			return nil, true
+		}
+		if h, ok := validated[issuer][role]; ok && h.delegatable {
+			return h.chain, true
+		}
+		return nil, false
+	}
+	// Fixpoint: keep scanning until no new holdings appear. Credential
+	// counts are small; quadratic scanning is fine and deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.creds {
+			issuerChain, ok := authorized(c.Issuer, c.Role)
+			if !ok {
+				continue
+			}
+			cur, exists := get(c.Subject)[c.Role]
+			chain := append([]Credential{c}, issuerChain...)
+			deleg := c.Delegatable && allDelegatable(issuerChain)
+			if !exists || (!cur.delegatable && deleg) {
+				get(c.Subject)[c.Role] = holding{role: c.Role, delegatable: deleg, chain: chain}
+				changed = true
+			}
+		}
+	}
+	if h, ok := validated[subject][role]; ok {
+		return h.chain
+	}
+	return nil
+}
+
+func allDelegatable(chain []Credential) bool {
+	for _, c := range chain {
+		if !c.Delegatable {
+			return false
+		}
+	}
+	return true
+}
+
+// RolesOf returns every role the subject can prove, sorted.
+func (s *Store) RolesOf(subject string) []Role {
+	s.mu.RLock()
+	roles := map[Role]bool{}
+	for _, c := range s.creds {
+		roles[c.Role] = true
+	}
+	s.mu.RUnlock()
+	var out []Role
+	for r := range roles {
+		if s.HasRole(subject, r) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PropertyIssuer maps roles to service property sets: holding a role
+// confers its properties. This is the service-independent translation
+// layer of Section 6 — role issuance replaces per-service translation
+// code.
+type PropertyIssuer struct {
+	mu       sync.RWMutex
+	store    *Store
+	mappings map[Role]property.Set
+}
+
+// NewPropertyIssuer binds a translation table to a credential store.
+func NewPropertyIssuer(store *Store) *PropertyIssuer {
+	return &PropertyIssuer{store: store, mappings: map[Role]property.Set{}}
+}
+
+// MapRole declares that holders of the role acquire the given
+// properties.
+func (pi *PropertyIssuer) MapRole(role Role, props property.Set) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	pi.mappings[role] = props.Clone()
+}
+
+// PropertiesOf derives the property set of an entity from its provable
+// roles. When several roles assign the same ordered property, the
+// maximum wins (holding trust4 and trust2 means trust 4); for strings
+// the lexicographically larger value wins, keeping the result
+// deterministic.
+func (pi *PropertyIssuer) PropertiesOf(entity string) property.Set {
+	pi.mu.RLock()
+	roles := make([]Role, 0, len(pi.mappings))
+	for r := range pi.mappings {
+		roles = append(roles, r)
+	}
+	pi.mu.RUnlock()
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+	out := property.Set{}
+	for _, r := range roles {
+		if !pi.store.HasRole(entity, r) {
+			continue
+		}
+		pi.mu.RLock()
+		props := pi.mappings[r]
+		pi.mu.RUnlock()
+		for name, v := range props {
+			cur, exists := out[name]
+			if !exists {
+				out[name] = v
+				continue
+			}
+			if m := property.Max(cur, v); m.IsValid() {
+				out[name] = m
+			} else if v.String() > cur.String() {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+// NodeTranslation returns a netmodel.TranslationFunc that resolves a
+// node's "entity" credential through the issuer: the drop-in
+// replacement for service-specific translation functions.
+func (pi *PropertyIssuer) NodeTranslation() netmodel.TranslationFunc {
+	return func(creds map[string]string) property.Set {
+		entity := creds["entity"]
+		if entity == "" {
+			return property.Set{}
+		}
+		return pi.PropertiesOf(entity)
+	}
+}

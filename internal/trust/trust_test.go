@@ -1,0 +1,245 @@
+package trust
+
+import (
+	"reflect"
+	"testing"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/planner"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+func TestRoleParsing(t *testing.T) {
+	if Role("mailcorp.trust4").Owner() != "mailcorp" {
+		t.Error("owner")
+	}
+	if !Role("a.b").Valid() || Role("noowner").Valid() || Role("a.").Valid() || Role(".b").Valid() {
+		t.Error("validity")
+	}
+	if Role("bare").Owner() != "bare" {
+		t.Error("bare owner fallback")
+	}
+}
+
+func TestOwnerIssuesDirectly(t *testing.T) {
+	s := NewStore()
+	if err := s.Issue(Credential{Subject: "ny-1", Role: "mailcorp.trust5", Issuer: "mailcorp"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasRole("ny-1", "mailcorp.trust5") {
+		t.Error("direct grant must hold")
+	}
+	if s.HasRole("ny-2", "mailcorp.trust5") {
+		t.Error("ungranted subject must not hold")
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Issue(Credential{Subject: "x", Role: "norole", Issuer: "x"}); err == nil {
+		t.Error("malformed role must fail")
+	}
+	if err := s.Issue(Credential{Subject: "", Role: "a.b", Issuer: "a"}); err == nil {
+		t.Error("empty subject must fail")
+	}
+	if err := s.Issue(Credential{Subject: "x", Role: "mailcorp.trust5", Issuer: "intruder"}); err == nil {
+		t.Error("unauthorized issuer must fail")
+	}
+}
+
+func TestDelegationChain(t *testing.T) {
+	s := NewStore()
+	// mailcorp delegates trust2 issuance to partner; partner grants it
+	// to a Seattle node.
+	if err := s.Issue(Credential{Subject: "partner", Role: "mailcorp.trust2", Issuer: "mailcorp", Delegatable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Issue(Credential{Subject: "sea-1", Role: "mailcorp.trust2", Issuer: "partner"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasRole("sea-1", "mailcorp.trust2") {
+		t.Error("delegated grant must hold")
+	}
+	chain := s.Prove("sea-1", "mailcorp.trust2")
+	if len(chain) != 2 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if chain[0].Subject != "sea-1" || chain[1].Subject != "partner" {
+		t.Errorf("chain order = %v", chain)
+	}
+}
+
+func TestNonDelegatableGrantCannotIssue(t *testing.T) {
+	s := NewStore()
+	if err := s.Issue(Credential{Subject: "partner", Role: "mailcorp.trust2", Issuer: "mailcorp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Issue(Credential{Subject: "sea-1", Role: "mailcorp.trust2", Issuer: "partner"}); err == nil {
+		t.Error("non-delegatable holder must not issue")
+	}
+}
+
+func TestDelegationDepthAndMixedChains(t *testing.T) {
+	s := NewStore()
+	must := func(c Credential) {
+		t.Helper()
+		if err := s.Issue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Credential{Subject: "a", Role: "o.r", Issuer: "o", Delegatable: true})
+	must(Credential{Subject: "b", Role: "o.r", Issuer: "a", Delegatable: true})
+	must(Credential{Subject: "c", Role: "o.r", Issuer: "b"})
+	if !s.HasRole("c", "o.r") {
+		t.Error("depth-3 chain must hold")
+	}
+	// c's grant is terminal: it cannot issue.
+	if err := s.Issue(Credential{Subject: "d", Role: "o.r", Issuer: "c"}); err == nil {
+		t.Error("terminal holder must not issue")
+	}
+}
+
+func TestRevokeDissolvesChain(t *testing.T) {
+	s := NewStore()
+	if err := s.Issue(Credential{Subject: "partner", Role: "o.r", Issuer: "o", Delegatable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Issue(Credential{Subject: "x", Role: "o.r", Issuer: "partner"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Revoke("partner", "o.r"); n != 1 {
+		t.Fatalf("revoked %d", n)
+	}
+	if s.HasRole("x", "o.r") {
+		t.Error("revoking the intermediate must dissolve the chain")
+	}
+	if s.Revoke("ghost", "o.r") != 0 {
+		t.Error("revoking nothing returns 0")
+	}
+}
+
+func TestRolesOf(t *testing.T) {
+	s := NewStore()
+	for _, c := range []Credential{
+		{Subject: "n", Role: "o.a", Issuer: "o"},
+		{Subject: "n", Role: "o.b", Issuer: "o"},
+		{Subject: "m", Role: "o.c", Issuer: "o"},
+	} {
+		if err := s.Issue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.RolesOf("n")
+	if !reflect.DeepEqual(got, []Role{"o.a", "o.b"}) {
+		t.Errorf("RolesOf = %v", got)
+	}
+}
+
+func TestCredentialString(t *testing.T) {
+	c := Credential{Subject: "s", Role: "o.r", Issuer: "o", Delegatable: true}
+	want := "s -> o.r [by o] (delegatable)"
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPropertyIssuerMaxWins(t *testing.T) {
+	s := NewStore()
+	pi := NewPropertyIssuer(s)
+	pi.MapRole("mailcorp.trust2", property.Set{"TrustLevel": property.Int(2)})
+	pi.MapRole("mailcorp.trust4", property.Set{"TrustLevel": property.Int(4)})
+	for _, c := range []Credential{
+		{Subject: "n", Role: "mailcorp.trust2", Issuer: "mailcorp"},
+		{Subject: "n", Role: "mailcorp.trust4", Issuer: "mailcorp"},
+	} {
+		if err := s.Issue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := pi.PropertiesOf("n")
+	if !got["TrustLevel"].Equal(property.Int(4)) {
+		t.Errorf("properties = %v, want TrustLevel=4", got)
+	}
+	if props := pi.PropertiesOf("stranger"); len(props) != 0 {
+		t.Errorf("stranger props = %v", props)
+	}
+}
+
+// caseStudyCredentials builds the Figure 5 trust structure as dRBAC
+// credentials: mailcorp grants trust5 to New York, trust4 to San Diego,
+// and delegates trust2 issuance to the partner org, which certifies its
+// own Seattle nodes.
+func caseStudyCredentials(t *testing.T) *PropertyIssuer {
+	t.Helper()
+	s := NewStore()
+	pi := NewPropertyIssuer(s)
+	for lvl := 2; lvl <= 5; lvl++ {
+		pi.MapRole(Role("mailcorp.trust"+string(rune('0'+lvl))),
+			property.Set{"TrustLevel": property.Int(int64(lvl))})
+	}
+	must := func(c Credential) {
+		t.Helper()
+		if err := s.Issue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"ny-1", "ny-2", "ny-3"} {
+		must(Credential{Subject: n, Role: "mailcorp.trust5", Issuer: "mailcorp"})
+	}
+	for _, n := range []string{"sd-1", "sd-2"} {
+		must(Credential{Subject: n, Role: "mailcorp.trust4", Issuer: "mailcorp"})
+	}
+	must(Credential{Subject: "partner", Role: "mailcorp.trust2", Issuer: "mailcorp", Delegatable: true})
+	for _, n := range []string{"sea-1", "sea-2"} {
+		must(Credential{Subject: n, Role: "mailcorp.trust2", Issuer: "partner"})
+	}
+	return pi
+}
+
+// TestTranslationEquivalence (experiment A4): replacing the hand-written
+// translation with dRBAC-derived properties yields the same node
+// properties and therefore the same Figure 6 deployments.
+func TestTranslationEquivalence(t *testing.T) {
+	pi := caseStudyCredentials(t)
+
+	// Build the case-study topology but strip node properties, then
+	// translate through the credential store.
+	direct := topology.CaseStudy()
+	viaTrust := topology.CaseStudy()
+	for _, node := range viaTrust.Nodes() {
+		delete(node.Props, "TrustLevel")
+		node.Credentials = map[string]string{"entity": string(node.ID)}
+	}
+	viaTrust.Translate(pi.NodeTranslation(), nil)
+
+	for _, want := range direct.Nodes() {
+		got, _ := viaTrust.Node(want.ID)
+		if !got.Props["TrustLevel"].Equal(want.Props["TrustLevel"]) {
+			t.Errorf("node %s: trust %v via credentials, %v direct",
+				want.ID, got.Props["TrustLevel"], want.Props["TrustLevel"])
+		}
+	}
+
+	// Same planner outcome on both networks.
+	plan := func(net *netmodel.Network) string {
+		pl := planner.New(spec.MailService(), net)
+		ms, err := pl.PrimaryPlacement(spec.CompMailServer, topology.NYServer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.AddExisting(ms)
+		dep, err := pl.Plan(planner.Request{
+			Interface: spec.IfaceClient, ClientNode: topology.SDClient,
+			User: "Alice", RateRPS: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep.String()
+	}
+	if a, b := plan(direct), plan(viaTrust); a != b {
+		t.Errorf("plans differ:\n  direct: %s\n  dRBAC:  %s", a, b)
+	}
+}

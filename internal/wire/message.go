@@ -1,0 +1,111 @@
+package wire
+
+import "fmt"
+
+// MsgKind distinguishes the message types exchanged by the Smock
+// run-time and the transports.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	// KindRequest is a client-to-component request.
+	KindRequest MsgKind = 1
+	// KindResponse answers a request (matching ID).
+	KindResponse MsgKind = 2
+	// KindError answers a request with a failure.
+	KindError MsgKind = 3
+	// KindInstall carries a component installation order to a node
+	// wrapper: factory name, factored configuration and state snapshot.
+	KindInstall MsgKind = 4
+	// KindCoherence carries replica update batches between coherence
+	// peers.
+	KindCoherence MsgKind = 5
+)
+
+// String names the kind.
+func (k MsgKind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindError:
+		return "error"
+	case KindInstall:
+		return "install"
+	case KindCoherence:
+		return "coherence"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is the unit of communication between framework pieces: proxy
+// to generic server, client component to provider, deployment engine to
+// node wrapper, and replica to coherence directory.
+type Message struct {
+	// Kind is the message type.
+	Kind MsgKind
+	// ID correlates responses with requests.
+	ID uint64
+	// Target names the destination component instance or service.
+	Target string
+	// Method is the operation being invoked.
+	Method string
+	// Meta carries string metadata (credentials, property bindings).
+	Meta map[string]string
+	// Body is the operation payload, opaque to the transport.
+	Body []byte
+}
+
+// Marshal encodes the message with the wire value encoding.
+func (m *Message) Marshal() ([]byte, error) {
+	meta := make(map[string]any, len(m.Meta))
+	for k, v := range m.Meta {
+		meta[k] = v
+	}
+	return Marshal(map[string]any{
+		"kind":   int64(m.Kind),
+		"id":     int64(m.ID),
+		"target": m.Target,
+		"method": m.Method,
+		"meta":   meta,
+		"body":   m.Body,
+	})
+}
+
+// UnmarshalMessage decodes a message encoded by Marshal.
+func UnmarshalMessage(data []byte) (*Message, error) {
+	v, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	fields, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("wire: message is %T, want map", v)
+	}
+	m := &Message{}
+	if kind, ok := fields["kind"].(int64); ok {
+		m.Kind = MsgKind(kind)
+	} else {
+		return nil, fmt.Errorf("wire: message missing kind")
+	}
+	if id, ok := fields["id"].(int64); ok {
+		m.ID = uint64(id)
+	}
+	m.Target, _ = fields["target"].(string)
+	m.Method, _ = fields["method"].(string)
+	if meta, ok := fields["meta"].(map[string]any); ok && len(meta) > 0 {
+		m.Meta = make(map[string]string, len(meta))
+		for k, mv := range meta {
+			s, ok := mv.(string)
+			if !ok {
+				return nil, fmt.Errorf("wire: meta %q has type %T, want string", k, mv)
+			}
+			m.Meta[k] = s
+		}
+	}
+	if body, ok := fields["body"].([]byte); ok && len(body) > 0 {
+		m.Body = body
+	}
+	return m, nil
+}

@@ -1,0 +1,263 @@
+// Package wire implements the framework's binary wire format: length-
+// prefixed frames carrying tagged, self-describing values. It is the
+// custom serialization layer that stands in for Java object mobility —
+// component state snapshots, requests, and responses all travel in this
+// encoding (see DESIGN.md, substitution table).
+//
+// The value encoding is a compact tagged union:
+//
+//	nil     0x00
+//	bool    0x01 <0|1>
+//	int64   0x02 <8 bytes big endian>
+//	float64 0x03 <8 bytes IEEE 754 big endian>
+//	string  0x04 <u32 len> <bytes>
+//	bytes   0x05 <u32 len> <bytes>
+//	list    0x06 <u32 count> <values...>
+//	map     0x07 <u32 count> <string value, value>... (sorted by key)
+//
+// Maps encode sorted by key, so encoding is deterministic: equal values
+// produce equal bytes, which the coherence layer relies on for change
+// detection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Value type tags.
+const (
+	tagNil    = 0x00
+	tagBool   = 0x01
+	tagInt    = 0x02
+	tagFloat  = 0x03
+	tagString = 0x04
+	tagBytes  = 0x05
+	tagList   = 0x06
+	tagMap    = 0x07
+)
+
+// MaxFrame is the largest frame ReadFrame accepts by default: a guard
+// against corrupt length prefixes allocating unbounded memory.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame length prefix above the limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrTruncated reports an encoding that ends mid-value.
+var ErrTruncated = errors.New("wire: truncated value")
+
+// AppendValue appends the encoding of v to buf. Supported types: nil,
+// bool, int/int32/int64, float64, string, []byte, []any, and
+// map[string]any (recursively). Unsupported types return an error.
+func AppendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, tagNil), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(buf, tagBool, b), nil
+	case int:
+		return appendInt(buf, int64(x)), nil
+	case int32:
+		return appendInt(buf, int64(x)), nil
+	case int64:
+		return appendInt(buf, x), nil
+	case float64:
+		buf = append(buf, tagFloat)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case string:
+		buf = append(buf, tagString)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case []byte:
+		buf = append(buf, tagBytes)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case []any:
+		buf = append(buf, tagList)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		var err error
+		for _, item := range x {
+			if buf, err = AppendValue(buf, item); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case map[string]any:
+		buf = append(buf, tagMap)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var err error
+		for _, k := range keys {
+			if buf, err = AppendValue(buf, k); err != nil {
+				return nil, err
+			}
+			if buf, err = AppendValue(buf, x[k]); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported type %T", v)
+	}
+}
+
+func appendInt(buf []byte, x int64) []byte {
+	buf = append(buf, tagInt)
+	return binary.BigEndian.AppendUint64(buf, uint64(x))
+}
+
+// DecodeValue decodes one value from data, returning it and the
+// remaining bytes. Strings and byte slices are copied, so the result
+// does not alias data.
+func DecodeValue(data []byte) (v any, rest []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	tag, data := data[0], data[1:]
+	switch tag {
+	case tagNil:
+		return nil, data, nil
+	case tagBool:
+		if len(data) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		switch data[0] {
+		case 0:
+			return false, data[1:], nil
+		case 1:
+			return true, data[1:], nil
+		default:
+			return nil, nil, fmt.Errorf("wire: invalid bool byte %#x", data[0])
+		}
+	case tagInt:
+		if len(data) < 8 {
+			return nil, nil, ErrTruncated
+		}
+		return int64(binary.BigEndian.Uint64(data)), data[8:], nil
+	case tagFloat:
+		if len(data) < 8 {
+			return nil, nil, ErrTruncated
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(data)), data[8:], nil
+	case tagString, tagBytes:
+		if len(data) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return nil, nil, ErrTruncated
+		}
+		payload := make([]byte, n)
+		copy(payload, data[:n])
+		if tag == tagString {
+			return string(payload), data[n:], nil
+		}
+		return payload, data[n:], nil
+	case tagList:
+		if len(data) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		out := make([]any, 0, min(int(n), 1024))
+		for i := uint32(0); i < n; i++ {
+			var item any
+			item, data, err = DecodeValue(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, item)
+		}
+		return out, data, nil
+	case tagMap:
+		if len(data) < 4 {
+			return nil, nil, ErrTruncated
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		out := make(map[string]any, min(int(n), 1024))
+		for i := uint32(0); i < n; i++ {
+			var kv, vv any
+			kv, data, err = DecodeValue(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			key, ok := kv.(string)
+			if !ok {
+				return nil, nil, fmt.Errorf("wire: map key has type %T, want string", kv)
+			}
+			vv, data, err = DecodeValue(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[key] = vv
+		}
+		return out, data, nil
+	default:
+		return nil, nil, fmt.Errorf("wire: unknown tag %#x", tag)
+	}
+}
+
+// Marshal encodes a single value to a fresh buffer.
+func Marshal(v any) ([]byte, error) { return AppendValue(nil, v) }
+
+// Unmarshal decodes a single value and requires the buffer to be fully
+// consumed.
+func Unmarshal(data []byte) (any, error) {
+	v, rest, err := DecodeValue(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after value", len(rest))
+	}
+	return v, nil
+}
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r, rejecting frames
+// larger than MaxFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return payload, nil
+}
