@@ -165,15 +165,19 @@ func BenchmarkCoherencePolicy(b *testing.B) {
 }
 
 // BenchmarkPlannerScaling is ablation A3: planning cost on growing
-// Waxman topologies.
+// Waxman topologies. Beyond time and allocations it reports the search
+// volume (mappings_tried) and the route-cache hit rate, the two knobs
+// the A3b optimization turns.
 func BenchmarkPlannerScaling(b *testing.B) {
-	for _, n := range []int{8, 12, 16} {
+	for _, n := range []int{8, 12, 16, 32, 64, 128} {
 		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
 			net, err := topology.Waxman(topology.DefaultWaxman(n, 7))
 			if err != nil {
 				b.Fatal(err)
 			}
 			nodes := net.Nodes()
+			b.ReportAllocs()
+			var st planner.Stats
 			for i := 0; i < b.N; i++ {
 				pl := planner.New(spec.MailService(), net)
 				ms, err := pl.PrimaryPlacement(spec.CompMailServer, nodes[0].ID)
@@ -188,6 +192,11 @@ func BenchmarkPlannerScaling(b *testing.B) {
 				}); err != nil {
 					b.Fatal(err)
 				}
+				st = pl.Stats()
+			}
+			b.ReportMetric(float64(st.MappingsTried), "mappings_tried")
+			if lookups := st.RouteCacheHits + st.RouteCacheMisses; lookups > 0 {
+				b.ReportMetric(float64(st.RouteCacheHits)/float64(lookups), "route_hit_rate")
 			}
 		})
 	}

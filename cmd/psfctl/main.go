@@ -187,6 +187,11 @@ func runPlan(args []string) error {
 		fmt.Printf("  search: %d chains, %d mappings (rejected: cond %d, props %d, load %d, path %d)\n",
 			st.ChainsEnumerated, st.MappingsTried,
 			st.RejectedConditions, st.RejectedProps, st.RejectedLoad, st.RejectedNoPath)
+		if lookups := st.RouteCacheHits + st.RouteCacheMisses; lookups > 0 {
+			fmt.Printf("  route cache: %d hits, %d misses (%.1f%% hit rate)\n",
+				st.RouteCacheHits, st.RouteCacheMisses,
+				100*float64(st.RouteCacheHits)/float64(lookups))
+		}
 		pl.AddExisting(dep.Placements...)
 		return nil
 	}

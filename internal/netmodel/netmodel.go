@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"partsvc/internal/property"
 )
@@ -71,12 +72,23 @@ func (l Link) TransferMS(bytes int) float64 {
 // functions").
 type TranslationFunc func(credentials map[string]string) property.Set
 
-// Network is the planner's view of the environment: a static graph of
-// nodes and links. The zero value is an empty network ready for use.
+// Network is the planner's view of the environment: a graph of nodes
+// and links. The zero value is an empty network ready for use.
+//
+// The network carries a route epoch: a version counter bumped by every
+// topology mutator (AddNode, AddLink, Translate, and the netmon
+// monitor's report methods, which mutate links and node properties in
+// place). Routes returns a shortest-path cache pinned to the current
+// epoch; bumping the epoch invalidates it wholesale, so route consumers
+// never observe stale paths.
 type Network struct {
 	nodes map[NodeID]*Node
 	links map[edgeKey]*Link
 	adj   map[NodeID][]NodeID
+
+	routesMu sync.Mutex
+	epoch    uint64
+	routes   *RouteCache
 }
 
 type edgeKey struct{ a, b NodeID }
@@ -109,6 +121,7 @@ func (n *Network) AddNode(node Node) error {
 		node.Props = property.Set{}
 	}
 	n.nodes[node.ID] = &node
+	n.InvalidateRoutes()
 	return nil
 }
 
@@ -133,7 +146,40 @@ func (n *Network) AddLink(link Link) error {
 	n.links[key] = &link
 	n.adj[link.A] = append(n.adj[link.A], link.B)
 	n.adj[link.B] = append(n.adj[link.B], link.A)
+	n.InvalidateRoutes()
 	return nil
+}
+
+// InvalidateRoutes bumps the route epoch, discarding any outstanding
+// route cache. Every mutation of the topology or of link
+// characteristics must call it (AddNode, AddLink, and Translate do so
+// themselves; the netmon monitor calls it when applying reports).
+func (n *Network) InvalidateRoutes() {
+	n.routesMu.Lock()
+	n.epoch++
+	n.routes = nil
+	n.routesMu.Unlock()
+}
+
+// RouteEpoch returns the current route epoch.
+func (n *Network) RouteEpoch() uint64 {
+	n.routesMu.Lock()
+	defer n.routesMu.Unlock()
+	return n.epoch
+}
+
+// Routes returns the shortest-path cache for the network's current
+// epoch, building a fresh (empty) cache after any invalidation. The
+// returned cache remains internally consistent — it answers from the
+// topology snapshot it interned — even if the network mutates
+// afterwards; call Routes again to pick up the new epoch.
+func (n *Network) Routes() *RouteCache {
+	n.routesMu.Lock()
+	defer n.routesMu.Unlock()
+	if n.routes == nil || n.routes.epoch != n.epoch {
+		n.routes = newRouteCache(n, n.epoch)
+	}
+	return n.routes
 }
 
 // Node returns the named node.
@@ -205,6 +251,7 @@ func (n *Network) Translate(nodeFn, linkFn TranslationFunc) {
 			l.Props = linkFn(creds).Merge(l.Props)
 		}
 	}
+	n.InvalidateRoutes()
 }
 
 // Path is a sequence of nodes connected by links.
@@ -265,9 +312,19 @@ func (p Path) Env(n *Network, secureEnv property.Set) property.Set {
 	return env
 }
 
-// ShortestPath returns the minimum-latency path between two nodes using
-// Dijkstra's algorithm. ok is false if no path exists.
+// ShortestPath returns the minimum-latency path between two nodes; ok
+// is false if no path exists. It answers from the epoch-current route
+// cache (see Routes); the returned Path shares cache-owned slices and
+// must be treated as read-only. Hot loops should hold a Routes()
+// handle instead, which skips the per-call epoch check.
 func (n *Network) ShortestPath(from, to NodeID) (Path, bool) {
+	return n.Routes().Path(from, to)
+}
+
+// shortestPathUncached is the reference Dijkstra implementation
+// (linear extraction over maps). The route cache must agree with it
+// path-for-path; tests assert that equivalence.
+func (n *Network) shortestPathUncached(from, to NodeID) (Path, bool) {
 	if _, exists := n.nodes[from]; !exists {
 		return Path{}, false
 	}

@@ -66,6 +66,10 @@ func (m *Monitor) notify(changes []Change) {
 	if len(changes) == 0 {
 		return
 	}
+	// Invalidate the network's route cache before subscribers run: an
+	// adaptation loop replanning from inside its callback must see the
+	// post-change shortest paths, never an epoch-stale route.
+	m.net.InvalidateRoutes()
 	for _, s := range m.subs {
 		s(changes)
 	}

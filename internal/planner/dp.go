@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"partsvc/internal/netmodel"
 	"partsvc/internal/property"
@@ -25,7 +26,8 @@ import (
 // (MaxCapacity requires whole-deployment headroom and always falls
 // back).
 func (pl *Planner) PlanDP(req Request) (*Deployment, error) {
-	pl.stats = Stats{}
+	pl.beginPlan()
+	defer pl.endPlan()
 	if _, ok := pl.Net.Node(req.ClientNode); !ok {
 		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
 	}
@@ -40,16 +42,10 @@ func (pl *Planner) PlanDP(req Request) (*Deployment, error) {
 	if len(chains) == 0 {
 		return nil, fmt.Errorf("planner: no component chain implements %q", req.Interface)
 	}
-	var best *Deployment
-	for _, chain := range chains {
-		dep := pl.dpChain(chain, req)
-		if dep == nil {
-			continue
-		}
-		if best == nil || pl.better(req.Objective, dep, best) {
-			best = dep
-		}
-	}
+	// Each chain is an independent subproblem; planChains fans them out
+	// over the worker pool and reduces in chain order, matching the
+	// sequential loop exactly.
+	best := pl.planChains(chains, req)
 	if best == nil {
 		return nil, fmt.Errorf("planner: no valid mapping for %q from %s (DP)", req.Interface, req.ClientNode)
 	}
@@ -77,12 +73,12 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 	if chain[0].isAnchor() {
 		return nil
 	}
-	head, ok := pl.placementFor(chain[0].comp, req.ClientNode, req, 0)
+	head, ok := pl.placementForCached(chain[0].comp, req.ClientNode, req, 0)
 	if !ok {
 		pl.stats.RejectedConditions++
 		return nil
 	}
-	if anchor, found := pl.anchorFor(head.Component, head.Node, head.Config); found {
+	if anchor, found := pl.anchorFor(head); found {
 		head = anchor
 	}
 	if len(chain) == 1 {
@@ -112,7 +108,7 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 			return out
 		}
 		caching := chain[pos].comp.Behaviors.EffectiveRRF() < 1
-		selfID := place.Component + "{" + place.Config.Fingerprint() + "}"
+		selfID := place.Component + "{" + place.configFP() + "}"
 
 		if pos == k {
 			opt := dpOpt{places: []Placement{place}, cachingIDs: map[string]bool{}}
@@ -120,8 +116,7 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 				opt.offers = chain[k].anchor.Offers.Clone()
 				opt.upLat = chain[k].anchor.UpstreamMS
 			} else {
-				tailImpl, _ := chain[k].comp.ImplementsInterface(chain.linkIface(k - 1))
-				offers, err := tailImpl.EvalProps(pl.scopeAt(place))
+				offers, err := pl.evalImplProps(chain[k].comp, chain.linkIface(k-1), place)
 				if err != nil {
 					return out
 				}
@@ -137,26 +132,25 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 			return out
 		}
 
-		reqProps, err := chain[pos].comp.Requires[0].EvalProps(pl.scopeAt(place))
+		reqProps, err := pl.evalReqProps(chain[pos].comp, place)
 		if err != nil {
 			return out
 		}
 		rrf := chain[pos].comp.Behaviors.EffectiveRRF()
 
 		for _, next := range pl.nextNodes(chain, pos+1) {
-			path, ok := pl.Net.ShortestPath(node, next)
+			path, env, ok := pl.pathEnv(node, next)
 			if !ok {
 				pl.stats.RejectedNoPath++
 				continue
 			}
-			env := path.Env(pl.Net, pl.LoopbackEnv)
 			for _, tail := range options(pos+1, next) {
 				pl.stats.MappingsTried++
 				// Duplicate-instance and duplicate-replica rules.
 				if conflicts(place, tail, caching, selfID) {
 					continue
 				}
-				received, err := pl.Service.ModRules.ApplySet(tail.offers, env)
+				received, err := pl.Service.ModRules.ApplySetRO(tail.offers, env)
 				if err != nil {
 					continue
 				}
@@ -191,23 +185,22 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 	}
 
 	var bestOpt *dpOpt
-	reqProps, err := chain[0].comp.Requires[0].EvalProps(pl.scopeAt(head))
+	reqProps, err := pl.evalReqProps(chain[0].comp, head)
 	if err != nil {
 		return nil
 	}
 	headCaching := chain[0].comp.Behaviors.EffectiveRRF() < 1
-	headID := head.Component + "{" + head.Config.Fingerprint() + "}"
+	headID := head.Component + "{" + head.configFP() + "}"
 	for _, next := range pl.nextNodes(chain, 1) {
-		path, ok := pl.Net.ShortestPath(head.Node, next)
+		path, env, ok := pl.pathEnv(head.Node, next)
 		if !ok {
 			continue
 		}
-		env := path.Env(pl.Net, pl.LoopbackEnv)
 		for _, tail := range options(1, next) {
 			if conflicts(head, tail, headCaching, headID) {
 				continue
 			}
-			received, err := pl.Service.ModRules.ApplySet(tail.offers, env)
+			received, err := pl.Service.ModRules.ApplySetRO(tail.offers, env)
 			if err != nil || !received.Satisfies(reqProps) {
 				continue
 			}
@@ -258,12 +251,12 @@ func (pl *Planner) candidateAt(chain Chain, pos int, node netmodel.NodeID, req R
 		}
 		return Placement{}, false
 	}
-	p, ok := pl.placementFor(elem.comp, node, req, pos)
+	p, ok := pl.placementForCached(elem.comp, node, req, pos)
 	if !ok {
 		pl.stats.RejectedConditions++
 		return Placement{}, false
 	}
-	if anchor, found := pl.anchorFor(p.Component, p.Node, p.Config); found {
+	if anchor, found := pl.anchorFor(p); found {
 		p = anchor
 	}
 	return p, true
@@ -286,11 +279,7 @@ func (pl *Planner) nextNodes(chain Chain, pos int) []netmodel.NodeID {
 		}
 		return out
 	}
-	ids := make([]netmodel.NodeID, 0, pl.Net.NumNodes())
-	for _, n := range pl.Net.Nodes() {
-		ids = append(ids, n.ID)
-	}
-	return ids
+	return pl.routes.NodeIDs()
 }
 
 // edgeHop computes the latency cost of the linkage leaving position pos:
@@ -312,18 +301,20 @@ func (pl *Planner) edgeHop(chain Chain, pos int, path netmodel.Path) float64 {
 func (pl *Planner) offerThrough(chain Chain, pos int, place Placement, received property.Set) property.Set {
 	iface := chain.linkIface(pos - 1)
 	decl, _ := pl.Service.Interface(iface)
-	next := property.Set{}
+	gen, err := pl.evalImplProps(chain[pos].comp, iface, place)
+	if err != nil {
+		gen = nil
+	}
+	next := make(property.Set, len(received)+len(gen))
 	for name, v := range received {
 		if decl.HasProperty(name) {
 			next[name] = v
 		}
 	}
-	impl, _ := chain[pos].comp.ImplementsInterface(iface)
-	gen, err := impl.EvalProps(pl.scopeAt(place))
-	if err != nil {
-		return next
+	for name, v := range gen {
+		next[name] = v
 	}
-	return next.Merge(gen)
+	return next
 }
 
 // conflicts applies the duplicate-instance and duplicate-replica rules
@@ -363,11 +354,12 @@ func (pl *Planner) dpBetter(o Objective, a, b dpOpt) bool {
 }
 
 func placesString(ps []Placement) string {
-	s := ""
+	var b strings.Builder
 	for _, p := range ps {
-		s += p.String() + ">"
+		b.WriteString(p.String())
+		b.WriteByte('>')
 	}
-	return s
+	return b.String()
 }
 
 // paretoPrune keeps, within each (offers, cachingIDs) group, only the
@@ -380,7 +372,7 @@ func paretoPrune(opts []dpOpt) []dpOpt {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
-		key := o.offers.Fingerprint() + "|" + fmt.Sprint(ids)
+		key := o.offers.Fingerprint() + "|" + strings.Join(ids, ",")
 		groups[key] = append(groups[key], o)
 	}
 	var out []dpOpt

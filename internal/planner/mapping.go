@@ -23,7 +23,7 @@ func (pl *Planner) mapChain(chain Chain, req Request) *Deployment {
 		pl.stats.RejectedConditions++
 		return nil
 	}
-	if anchor, found := pl.anchorFor(head.Component, head.Node, head.Config); found {
+	if anchor, found := pl.anchorFor(head); found {
 		head = anchor
 	}
 	places := make([]Placement, len(chain))
@@ -39,12 +39,12 @@ func (pl *Planner) mapChain(chain Chain, req Request) *Deployment {
 		// instance, so a second one can never absorb the first one's
 		// misses — reject rather than model it.
 		caching := chain[pos].comp.Behaviors.EffectiveRRF() < 1
-		id := p.Component + "{" + p.Config.Fingerprint() + "}"
+		id := p.Component + "{" + p.configFP() + "}"
 		for j := 0; j < pos; j++ {
 			if p.Key() == places[j].Key() {
 				return
 			}
-			if caching && id == places[j].Component+"{"+places[j].Config.Fingerprint()+"}" {
+			if caching && id == places[j].Component+"{"+places[j].configFP()+"}" {
 				return
 			}
 		}
@@ -86,12 +86,12 @@ func (pl *Planner) mapChain(chain Chain, req Request) *Deployment {
 			return
 		}
 		for _, node := range nodes {
-			p, ok := pl.placementFor(comp, node.ID, req, pos)
+			p, ok := pl.placementForCached(comp, node.ID, req, pos)
 			if !ok {
 				pl.stats.RejectedConditions++
 				continue
 			}
-			if anchor, found := pl.anchorFor(p.Component, p.Node, p.Config); found {
+			if anchor, found := pl.anchorFor(p); found {
 				p = anchor
 			}
 			consider(pos, p, assign)
@@ -146,10 +146,10 @@ func (pl *Planner) scopeAt(p Placement) property.Scope {
 // assignment, and computes the deployment metrics. It returns nil when
 // the assignment is invalid, bumping the relevant rejection counter.
 func (pl *Planner) validate(chain Chain, places []Placement, req Request) *Deployment {
-	// Route every linkage along the minimum-latency path.
+	// Route every linkage along the cached minimum-latency path.
 	paths := make([]netmodel.Path, len(chain)-1)
 	for i := 0; i+1 < len(chain); i++ {
-		p, ok := pl.Net.ShortestPath(places[i].Node, places[i+1].Node)
+		p, ok := pl.routes.Path(places[i].Node, places[i+1].Node)
 		if !ok {
 			pl.stats.RejectedNoPath++
 			return nil
@@ -180,7 +180,9 @@ func (pl *Planner) validate(chain Chain, places []Placement, req Request) *Deplo
 	in, out := flowCoeff(chain, places)
 	hops := pl.hopCosts(chain, paths)
 	for i := range dep.Placements {
-		dep.Placements[i].Offers = offers[i]
+		// Clone: offer sets may be memo-owned, and deployments outlive
+		// the per-plan memo (AddExisting registers them for reuse).
+		dep.Placements[i].Offers = offers[i].Clone()
 		if in[i] > 0 {
 			var up float64
 			for j := i; j < len(hops); j++ {
@@ -218,8 +220,8 @@ func (pl *Planner) checkProperties(chain Chain, places []Placement, paths []netm
 
 	// The head's own implemented properties must satisfy any explicit
 	// client expectations on the requested interface.
-	if impl, ok := chain[0].comp.ImplementsInterface(req.Interface); ok {
-		if headOffer, err := impl.EvalProps(pl.scopeAt(places[0])); err == nil {
+	if _, ok := chain[0].comp.ImplementsInterface(req.Interface); ok {
+		if headOffer, err := pl.evalImplProps(chain[0].comp, req.Interface, places[0]); err == nil {
 			offers[0] = headOffer
 		}
 	}
@@ -235,10 +237,8 @@ func (pl *Planner) checkProperties(chain Chain, places []Placement, paths []netm
 	if chain[k].isAnchor() {
 		offered = chain[k].anchor.Offers.Clone()
 	} else {
-		tailIface := chain.linkIface(k - 1)
-		tailImpl, _ := chain[k].comp.ImplementsInterface(tailIface)
 		var err error
-		offered, err = tailImpl.EvalProps(pl.scopeAt(places[k]))
+		offered, err = pl.evalImplProps(chain[k].comp, chain.linkIface(k-1), places[k])
 		if err != nil {
 			return nil, false
 		}
@@ -246,12 +246,12 @@ func (pl *Planner) checkProperties(chain Chain, places []Placement, paths []netm
 	offers[k] = offered
 
 	for i := k - 1; i >= 0; i-- {
-		env := paths[i].Env(pl.Net, pl.LoopbackEnv)
-		received, err := pl.Service.ModRules.ApplySet(offered, env)
+		env := pl.linkageEnv(paths[i])
+		received, err := pl.Service.ModRules.ApplySetRO(offered, env)
 		if err != nil {
 			return nil, false
 		}
-		reqProps, err := chain[i].comp.Requires[0].EvalProps(pl.scopeAt(places[i]))
+		reqProps, err := pl.evalReqProps(chain[i].comp, places[i])
 		if err != nil {
 			return nil, false
 		}
@@ -272,8 +272,7 @@ func (pl *Planner) checkProperties(chain Chain, places []Placement, paths []netm
 				next[name] = v
 			}
 		}
-		impl, _ := chain[i].comp.ImplementsInterface(iface)
-		gen, err := impl.EvalProps(pl.scopeAt(places[i]))
+		gen, err := pl.evalImplProps(chain[i].comp, iface, places[i])
 		if err != nil {
 			return nil, false
 		}
@@ -303,7 +302,7 @@ func flowCoeff(chain Chain, places []Placement) (in, out []float64) {
 	for i := range chain {
 		in[i] = f
 		rrf := chain[i].comp.Behaviors.EffectiveRRF()
-		id := chain[i].comp.Name + "{" + places[i].Config.Fingerprint() + "}"
+		id := chain[i].comp.Name + "{" + places[i].configFP() + "}"
 		if rrf < 1 {
 			if seen[id] {
 				rrf = 1

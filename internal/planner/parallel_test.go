@@ -1,0 +1,97 @@
+package planner
+
+import (
+	"testing"
+
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// TestParallelPlanDPMatchesSequential: fanning chains over the worker
+// pool is an implementation detail — across seeded random topologies
+// the parallel planner returns exactly the deployment the sequential
+// one does, with identical search statistics. Run under -race this also
+// exercises worker isolation (shared read-only network and route cache,
+// private stats and memos).
+func TestParallelPlanDPMatchesSequential(t *testing.T) {
+	svc := spec.MailService()
+	for seed := int64(1); seed <= 4; seed++ {
+		net, err := topology.Waxman(topology.DefaultWaxman(10, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := net.Nodes()
+		nodes[0].Props["TrustLevel"] = property.Int(5)
+
+		plan := func(workers int, req Request) (*Deployment, Stats, error) {
+			pl := New(svc, net)
+			pl.Workers = workers
+			ms, err := pl.PrimaryPlacement(spec.CompMailServer, nodes[0].ID)
+			if err != nil {
+				t.Fatalf("seed %d: no primary host: %v", seed, err)
+			}
+			pl.AddExisting(ms)
+			dep, err := pl.PlanDP(req)
+			return dep, pl.Stats(), err
+		}
+
+		for _, client := range []int{1, 4, 8} {
+			req := Request{
+				Interface: spec.IfaceClient, ClientNode: nodes[client].ID,
+				User: "Alice", RateRPS: 10,
+			}
+			seqDep, seqSt, seqErr := plan(1, req)
+			parDep, parSt, parErr := plan(0, req)
+
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("seed %d client %s: feasibility diverged: seq=%v par=%v",
+					seed, req.ClientNode, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if seqDep.String() != parDep.String() {
+				t.Errorf("seed %d client %s: deployments diverged:\nseq: %s\npar: %s",
+					seed, req.ClientNode, seqDep, parDep)
+			}
+			if seqDep.ExpectedLatencyMS != parDep.ExpectedLatencyMS ||
+				seqDep.CapacityRPS != parDep.CapacityRPS ||
+				seqDep.NewComponents != parDep.NewComponents {
+				t.Errorf("seed %d client %s: metrics diverged: seq=(%.4f,%.1f,%d) par=(%.4f,%.1f,%d)",
+					seed, req.ClientNode,
+					seqDep.ExpectedLatencyMS, seqDep.CapacityRPS, seqDep.NewComponents,
+					parDep.ExpectedLatencyMS, parDep.CapacityRPS, parDep.NewComponents)
+			}
+			// The search itself must be identical, not just its winner.
+			// (Route-cache counters are excluded: the warm cache from the
+			// sequential pass changes the hit/miss split, never the paths.)
+			if seqSt.ChainsEnumerated != parSt.ChainsEnumerated ||
+				seqSt.MappingsTried != parSt.MappingsTried ||
+				seqSt.RejectedConditions != parSt.RejectedConditions ||
+				seqSt.RejectedProps != parSt.RejectedProps ||
+				seqSt.RejectedLoad != parSt.RejectedLoad ||
+				seqSt.RejectedNoPath != parSt.RejectedNoPath {
+				t.Errorf("seed %d client %s: search stats diverged:\nseq: %+v\npar: %+v",
+					seed, req.ClientNode, seqSt, parSt)
+			}
+		}
+	}
+}
+
+// TestWorkerCountBounds: the pool never exceeds the chain count and
+// never drops below one.
+func TestWorkerCountBounds(t *testing.T) {
+	pl := &Planner{Workers: 8}
+	if got := pl.workerCount(3); got != 3 {
+		t.Errorf("workerCount(3) with 8 workers = %d, want 3", got)
+	}
+	pl.Workers = 1
+	if got := pl.workerCount(100); got != 1 {
+		t.Errorf("workerCount must honor Workers=1, got %d", got)
+	}
+	pl.Workers = 0
+	if got := pl.workerCount(0); got != 1 {
+		t.Errorf("workerCount(0) must clamp to 1, got %d", got)
+	}
+}

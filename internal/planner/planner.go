@@ -102,12 +102,40 @@ type Placement struct {
 	// Reused marks a placement satisfied by an already-deployed
 	// instance rather than a new installation.
 	Reused bool
+
+	// cfgFP and idKey cache Config.Fingerprint() and Key(): both
+	// participate in identity checks inside the search hot loops, and
+	// the fields they derive from never change after a placement is
+	// built. Empty means not yet computed (for cfgFP indistinguishable
+	// from an empty Config, whose fingerprint is also "" — recomputing
+	// that case is free).
+	cfgFP string
+	idKey string
+}
+
+// configFP returns the placement's configuration fingerprint, computed
+// at most once per placement by the planner's construction paths.
+func (p Placement) configFP() string {
+	if p.cfgFP != "" || len(p.Config) == 0 {
+		return p.cfgFP
+	}
+	return p.Config.Fingerprint()
 }
 
 // Key returns a stable identity for the placement (component, node and
 // factored configuration), used to recognize reusable instances.
 func (p Placement) Key() string {
-	return p.Component + "@" + string(p.Node) + "{" + p.Config.Fingerprint() + "}"
+	if p.idKey != "" {
+		return p.idKey
+	}
+	return p.Component + "@" + string(p.Node) + "{" + p.configFP() + "}"
+}
+
+// sealKeys precomputes the placement's identity strings so hot-loop
+// Key/configFP calls are allocation-free.
+func (p *Placement) sealKeys() {
+	p.cfgFP = p.Config.Fingerprint()
+	p.idKey = p.Component + "@" + string(p.Node) + "{" + p.cfgFP + "}"
 }
 
 // String renders the placement compactly.
@@ -187,6 +215,11 @@ type Stats struct {
 	// RejectedNoPath counts assignments with no network route between
 	// linked components.
 	RejectedNoPath int
+	// RouteCacheHits and RouteCacheMisses count route lookups served
+	// from the network's shortest-path cache versus lookups that had to
+	// build a single-source tree, over the duration of the plan call.
+	RouteCacheHits   int
+	RouteCacheMisses int
 }
 
 // Planner binds a service specification to a network and plans
@@ -217,8 +250,20 @@ type Planner struct {
 	// to install. New sets it to 5 ms; set it to zero to disable the
 	// penalty.
 	DeployPenaltyMS float64
+	// Workers bounds the parallel per-chain search in PlanDP: each
+	// enumerated chain is an independent subproblem, fanned out over a
+	// worker pool of this size and reduced deterministically (the same
+	// total order as the sequential loop, ties kept by chain index), so
+	// results are bit-identical to a sequential run. Zero means
+	// GOMAXPROCS; 1 forces the sequential path.
+	Workers int
 
-	stats Stats
+	stats  Stats
+	memo   *planMemo
+	routes *netmodel.RouteCache
+	// hits0/misses0 snapshot the route-cache counters at beginPlan so
+	// endPlan can attribute the delta to this plan call.
+	hits0, misses0 uint64
 }
 
 // New returns a planner over a specification and network.
@@ -247,7 +292,8 @@ func (pl *Planner) maxLen() int {
 // the request's objective. It returns an error when no valid deployment
 // exists, with the accumulated rejection statistics in Stats.
 func (pl *Planner) Plan(req Request) (*Deployment, error) {
-	pl.stats = Stats{}
+	pl.beginPlan()
+	defer pl.endPlan()
 	if _, ok := pl.Net.Node(req.ClientNode); !ok {
 		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
 	}
@@ -308,12 +354,11 @@ func (pl *Planner) better(o Objective, a, b *Deployment) bool {
 	return a.String() < b.String()
 }
 
-// anchorFor returns an existing placement of the component at the node
-// with a matching factored configuration.
-func (pl *Planner) anchorFor(component string, node netmodel.NodeID, config property.Set) (Placement, bool) {
-	want := Placement{Component: component, Node: node, Config: config}.Key()
+// anchorFor returns an existing placement matching the candidate's
+// component, node and factored configuration.
+func (pl *Planner) anchorFor(p Placement) (Placement, bool) {
 	for _, e := range pl.Existing {
-		if e.Key() == want {
+		if e.Component == p.Component && e.Node == p.Node && e.configFP() == p.configFP() {
 			e.Reused = true
 			return e, true
 		}
@@ -357,6 +402,7 @@ func (pl *Planner) isStatefulPrimary(comp spec.Component) bool {
 func (pl *Planner) AddExisting(placements ...Placement) {
 	for _, p := range placements {
 		p.Reused = false
+		p.sealKeys()
 		replaced := false
 		for i := range pl.Existing {
 			if pl.Existing[i].Key() == p.Key() {

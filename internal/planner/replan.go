@@ -175,6 +175,10 @@ func (pl *Planner) Verify(dep *Deployment, req Request) error {
 			return fmt.Errorf("planner: conditions for %s no longer hold", p)
 		}
 	}
+	// Verify is a public entry point: refresh the route handle and the
+	// evaluation memo so checks run against the current network state.
+	pl.routes = pl.Net.Routes()
+	pl.memo = newPlanMemo()
 	paths, err := pl.routesFor(dep)
 	if err != nil {
 		return err
@@ -191,12 +195,13 @@ func (pl *Planner) Verify(dep *Deployment, req Request) error {
 	return nil
 }
 
-// routesFor recomputes minimum-latency routes between consecutive
-// placements.
+// routesFor resolves minimum-latency routes between consecutive
+// placements from the epoch-current route cache.
 func (pl *Planner) routesFor(dep *Deployment) ([]netmodel.Path, error) {
+	routes := pl.Net.Routes()
 	paths := make([]netmodel.Path, len(dep.Placements)-1)
 	for i := 0; i+1 < len(dep.Placements); i++ {
-		p, ok := pl.Net.ShortestPath(dep.Placements[i].Node, dep.Placements[i+1].Node)
+		p, ok := routes.Path(dep.Placements[i].Node, dep.Placements[i+1].Node)
 		if !ok {
 			return nil, fmt.Errorf("planner: no route %s -> %s", dep.Placements[i].Node, dep.Placements[i+1].Node)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
 	"partsvc/internal/property"
 	"partsvc/internal/spec"
 	"partsvc/internal/topology"
@@ -148,9 +149,13 @@ func TestReplanAfterLinkSecured(t *testing.T) {
 	old := planOrFail(t, pl, sdRequest())
 	pl.AddExisting(old.Placements...)
 
-	l, _ := pl.Net.Link(topology.NYServer, topology.SDGateway)
-	l.Secure = true
-	l.Props["Confidentiality"] = property.Bool(true)
+	// Report the change through the monitor: it owns network mutations
+	// and bumps the route epoch so the planner's path cache (including
+	// cached link environments) is invalidated.
+	secure := true
+	if err := netmon.New(pl.Net).ReportLink(topology.NYServer, topology.SDGateway, -1, -1, &secure); err != nil {
+		t.Fatal(err)
+	}
 
 	diff, err := pl.Replan(old, sdRequest())
 	if err != nil {
@@ -174,6 +179,54 @@ func TestReplanAfterLinkSecured(t *testing.T) {
 	if diff.New.ExpectedLatencyMS >= old.ExpectedLatencyMS {
 		t.Errorf("dropping the tunnel must not raise latency: %.2f -> %.2f",
 			old.ExpectedLatencyMS, diff.New.ExpectedLatencyMS)
+	}
+}
+
+// TestReplanAfterLatencyChange: a latency report that shifts the
+// shortest NY-Seattle route is picked up by Replan — every edge of the
+// new deployment follows an epoch-current shortest path, never a stale
+// cached one.
+func TestReplanAfterLatencyChange(t *testing.T) {
+	pl := caseStudyPlanner(t)
+	req := Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SeaClient,
+		User: "Carol", RateRPS: 50,
+	}
+	old := planOrFail(t, pl, req)
+	pl.AddExisting(old.Placements...)
+
+	// The direct NY-Seattle link (400 ms at seed, losing to the 300 ms
+	// detour through San Diego) speeds up to 50 ms.
+	if err := netmon.New(pl.Net).ReportLink(topology.NYServer, topology.SeaGW, 50, -1, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := pl.Net.ShortestPath(topology.NYServer, topology.SeaGW)
+	if !ok || len(want.Nodes) != 2 {
+		t.Fatalf("direct link must now be the shortest NY-Sea route, got %v", want.Nodes)
+	}
+
+	diff, err := pl.Replan(old, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range diff.New.Edges {
+		from := diff.New.Placements[e.From].Node
+		to := diff.New.Placements[e.To].Node
+		sp, ok := pl.Net.ShortestPath(from, to)
+		if !ok {
+			t.Fatalf("edge %s->%s lost its route", from, to)
+		}
+		if e.Path.LatencyMS != sp.LatencyMS {
+			t.Errorf("edge %s->%s uses a stale path: %.1f ms cached vs %.1f ms current",
+				from, to, e.Path.LatencyMS, sp.LatencyMS)
+		}
+	}
+	if diff.New.ExpectedLatencyMS >= old.ExpectedLatencyMS {
+		t.Errorf("a faster backbone must lower expected latency: %.2f -> %.2f",
+			old.ExpectedLatencyMS, diff.New.ExpectedLatencyMS)
+	}
+	if err := pl.Verify(diff.New, req); err != nil {
+		t.Errorf("replanned deployment invalid: %v", err)
 	}
 }
 

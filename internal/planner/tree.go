@@ -143,7 +143,8 @@ func (d *TreeDeployment) String() string {
 // rules) on every edge, and a per-edge bandwidth plus per-node CPU load
 // check. The MinLatency deployment penalty applies as in Plan.
 func (pl *Planner) PlanTree(req Request) (*TreeDeployment, error) {
-	pl.stats = Stats{}
+	pl.beginPlan()
+	defer pl.endPlan()
 	if _, ok := pl.Net.Node(req.ClientNode); !ok {
 		return nil, fmt.Errorf("planner: client node %q not in network", req.ClientNode)
 	}
@@ -221,12 +222,12 @@ func (pl *Planner) mapTree(tree *Tree, req Request) *TreeDeployment {
 		return nil
 	}
 	flat := flatten(tree)
-	head, ok := pl.placementFor(flat[0].tree.comp, req.ClientNode, req, 0)
+	head, ok := pl.placementForCached(flat[0].tree.comp, req.ClientNode, req, 0)
 	if !ok {
 		pl.stats.RejectedConditions++
 		return nil
 	}
-	if anchor, found := pl.anchorFor(head.Component, head.Node, head.Config); found {
+	if anchor, found := pl.anchorFor(head); found {
 		head = anchor
 	}
 	places := make([]Placement, len(flat))
@@ -269,21 +270,21 @@ func (pl *Planner) mapTree(tree *Tree, req Request) *TreeDeployment {
 		}
 		caching := comp.Behaviors.EffectiveRRF() < 1
 		for _, node := range nodes {
-			p, ok := pl.placementFor(comp, node.ID, req, pos)
+			p, ok := pl.placementForCached(comp, node.ID, req, pos)
 			if !ok {
 				pl.stats.RejectedConditions++
 				continue
 			}
 			// No loops or duplicated replicas along the ancestor path
 			// (the same rules as the chain mapper, applied per branch).
-			id := p.Component + "{" + p.Config.Fingerprint() + "}"
+			id := p.Component + "{" + p.configFP() + "}"
 			blocked := false
 			for a := tn.parent; a >= 0; a = flat[a].parent {
 				if p.Key() == places[a].Key() {
 					blocked = true
 					break
 				}
-				if caching && id == places[a].Component+"{"+places[a].Config.Fingerprint()+"}" {
+				if caching && id == places[a].Component+"{"+places[a].configFP()+"}" {
 					blocked = true
 					break
 				}
@@ -291,7 +292,7 @@ func (pl *Planner) mapTree(tree *Tree, req Request) *TreeDeployment {
 			if blocked {
 				continue
 			}
-			if anchor, found := pl.anchorFor(p.Component, p.Node, p.Config); found {
+			if anchor, found := pl.anchorFor(p); found {
 				p = anchor
 			}
 			places[pos] = p
@@ -309,7 +310,7 @@ func (pl *Planner) mapTree(tree *Tree, req Request) *TreeDeployment {
 func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request) *TreeDeployment {
 	paths := make([]netmodel.Path, len(flat))
 	for i := 1; i < len(flat); i++ {
-		p, ok := pl.Net.ShortestPath(places[flat[i].parent].Node, places[i].Node)
+		p, ok := pl.routes.Path(places[flat[i].parent].Node, places[i].Node)
 		if !ok {
 			pl.stats.RejectedNoPath++
 			return nil
@@ -341,12 +342,12 @@ func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request
 			if !ok {
 				return nil, false
 			}
-			env := paths[c].Env(pl.Net, pl.LoopbackEnv)
-			received, err := pl.Service.ModRules.ApplySet(childOffer, env)
+			env := pl.linkageEnv(paths[c])
+			received, err := pl.Service.ModRules.ApplySetRO(childOffer, env)
 			if err != nil {
 				return nil, false
 			}
-			reqProps, err := tn.tree.comp.Requires[ci].EvalProps(pl.scopeAt(places[i]))
+			reqProps, err := pl.evalReqPropsAt(tn.tree.comp, ci, places[i])
 			if err != nil {
 				return nil, false
 			}
@@ -386,11 +387,10 @@ func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request
 				out[name] = v
 			}
 		}
-		impl, ok := tn.tree.comp.ImplementsInterface(iface)
-		if !ok {
+		if _, ok := tn.tree.comp.ImplementsInterface(iface); !ok {
 			return nil, false
 		}
-		gen, err := impl.EvalProps(pl.scopeAt(places[i]))
+		gen, err := pl.evalImplProps(tn.tree.comp, iface, places[i])
 		if err != nil {
 			return nil, false
 		}

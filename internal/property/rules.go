@@ -194,6 +194,35 @@ func (t RuleTable) ApplySet(impl, env Set) (Set, error) {
 	return out, nil
 }
 
+// ApplySetRO is ApplySet with copy-on-write semantics for read-heavy
+// callers: when the environment leaves every property unchanged — the
+// common case for trusted, secured paths — the input set itself is
+// returned and no allocation happens. The result must therefore be
+// treated as read-only whenever the input must stay intact.
+func (t RuleTable) ApplySetRO(impl, env Set) (Set, error) {
+	var out Set
+	for name, in := range impl {
+		v, err := t.Apply(name, in, env[name])
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			if v.Equal(in) {
+				continue
+			}
+			out = make(Set, len(impl))
+			for n2, v2 := range impl {
+				out[n2] = v2
+			}
+		}
+		out[name] = v
+	}
+	if out == nil {
+		return impl, nil
+	}
+	return out, nil
+}
+
 // ConfidentialityRule returns Figure 4's rule table for a Boolean
 // confidentiality property: the output is T only when both the input
 // and the environment are T.
