@@ -10,10 +10,13 @@
 //	BenchmarkPlannerScaling/*       — ablation A3
 //	BenchmarkMailSendThroughView    — steady-state runtime request path
 //	BenchmarkWireMessage            — serialization substrate
+//	BenchmarkRPCThroughput          — data-plane concurrency (A4)
 package partsvc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"partsvc/internal/bench"
@@ -242,6 +245,79 @@ func BenchmarkMailSendThroughView(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := alice.Send("Bob", "bench", body, 2); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCThroughput is ablation A4: the RPC data plane under
+// concurrent load. All callers share ONE endpoint (one connection for
+// TCP), so the numbers expose how many requests the endpoint keeps in
+// flight: a lock-step transport serializes the 8- and 64-caller cases
+// back down to the single-caller rate, a multiplexed one scales them.
+func BenchmarkRPCThroughput(b *testing.B) {
+	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		return &wire.Message{
+			Kind: wire.KindResponse, ID: m.ID, Target: m.Target, Method: m.Method,
+			Body: m.Body,
+		}
+	})
+	transports := []struct {
+		name string
+		mk   func() transport.Transport
+	}{
+		{"inproc", func() transport.Transport { return transport.NewInProc() }},
+		{"tcp", func() transport.Transport { return transport.NewTCP() }},
+	}
+	body := make([]byte, 256)
+	for _, tc := range transports {
+		for _, callers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/callers-%d", tc.name, callers), func(b *testing.B) {
+				tr := tc.mk()
+				ln, err := tr.Serve("", h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				ep, err := tr.Dial(ln.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ep.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				errs := make(chan error, callers)
+				for c := 0; c < callers; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							resp, err := ep.Call(&wire.Message{
+								Kind: wire.KindRequest, Method: "echo", Body: body,
+							})
+							if err != nil {
+								errs <- err
+								return
+							}
+							if resp.Kind != wire.KindResponse {
+								errs <- fmt.Errorf("kind = %v", resp.Kind)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			})
 		}
 	}
 }

@@ -10,6 +10,7 @@
 //	psfctl chains [-f spec.xml] [-i ClientInterface]
 //	psfctl plan -case-study           # reproduce the Figure 6 plans
 //	psfctl plan -node sd-2 -user Alice [-rate 50] [-objective min-latency]
+//	psfctl rpc [-callers 64] [-d 2s]  # loopback data-plane throughput probe
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		err = runTrees(os.Args[2:])
 	case "plan":
 		err = runPlan(os.Args[2:])
+	case "rpc":
+		err = runRPC(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -53,7 +56,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc> [flags]")
 }
 
 // loadSpec reads a spec from -f, defaulting to the built-in mail spec.

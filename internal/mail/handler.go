@@ -2,6 +2,7 @@ package mail
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"partsvc/internal/coherence"
 	"partsvc/internal/transport"
@@ -127,9 +128,11 @@ func decodeUpdate(v any) (coherence.Update, error) {
 }
 
 // Remote is a client stub: an Upstream backed by a transport endpoint.
+// It is safe for concurrent use: endpoints multiplex calls, and the
+// message ID sequence is atomic.
 type Remote struct {
 	ep transport.Endpoint
-	id uint64
+	id atomic.Uint64
 }
 
 // NewRemote returns an Upstream that forwards every call over the
@@ -144,8 +147,8 @@ func (r *Remote) call(method string, args map[string]any) (map[string]any, error
 	if err != nil {
 		return nil, err
 	}
-	r.id++
-	resp, err := r.ep.Call(&wire.Message{Kind: wire.KindRequest, ID: r.id, Method: method, Body: body})
+	id := r.id.Add(1)
+	resp, err := r.ep.Call(&wire.Message{Kind: wire.KindRequest, ID: id, Method: method, Body: body})
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,33 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// Counter is a concurrency-safe monotonic counter for data-plane
+// events (frames, bytes, errors). The zero value is ready to use.
+// Unlike Recorder, Counter is safe for concurrent use: the transports
+// bump counters from many goroutines at once.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Rate returns this counter as a fraction of (this + other): pool hit
+// rates, error rates. Returns 0 when both are zero.
+func (c *Counter) Rate(other *Counter) float64 {
+	a, b := c.Load(), other.Load()
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
 
 // Recorder accumulates float64 samples (milliseconds by convention).
 // The zero value is ready to use. Recorder is not safe for concurrent

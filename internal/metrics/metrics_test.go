@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -134,5 +135,31 @@ func TestQuickMeanWithinBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c, misses Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Errorf("Load = %d, want 8000", c.Load())
+	}
+	misses.Add(2000)
+	if r := c.Rate(&misses); r != 0.8 {
+		t.Errorf("Rate = %v, want 0.8", r)
+	}
+	var a, b Counter
+	if r := a.Rate(&b); r != 0 {
+		t.Errorf("empty Rate = %v, want 0", r)
 	}
 }

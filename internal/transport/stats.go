@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"partsvc/internal/wire"
+)
+
+// Stats holds the per-transport data-plane counters. All fields are
+// atomic; one Stats value is shared by every endpoint and connection of
+// a transport so the totals describe the whole data plane.
+type Stats struct {
+	// InFlight is the number of calls currently awaiting a response.
+	InFlight atomic.Int64
+	// FramesSent / FramesReceived count frames crossing the transport.
+	FramesSent     atomic.Uint64
+	FramesReceived atomic.Uint64
+	// BytesSent / BytesReceived count framed bytes (headers included).
+	BytesSent     atomic.Uint64
+	BytesReceived atomic.Uint64
+	// DecodeErrors counts frames whose payload failed to decode
+	// (transport_decode_errors: corrupt or hostile traffic).
+	DecodeErrors atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats plus the wire buffer
+// pool counters, suitable for rendering in tables.
+type StatsSnapshot struct {
+	InFlight       int64
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+	DecodeErrors   uint64
+	PoolHits       uint64
+	PoolMisses     uint64
+}
+
+// Snapshot copies the counters and attaches the wire pool stats.
+func (s *Stats) Snapshot() StatsSnapshot {
+	hits, misses := wire.PoolStats()
+	return StatsSnapshot{
+		InFlight:       s.InFlight.Load(),
+		FramesSent:     s.FramesSent.Load(),
+		FramesReceived: s.FramesReceived.Load(),
+		BytesSent:      s.BytesSent.Load(),
+		BytesReceived:  s.BytesReceived.Load(),
+		DecodeErrors:   s.DecodeErrors.Load(),
+		PoolHits:       hits,
+		PoolMisses:     misses,
+	}
+}
+
+// PoolHitRate returns the buffer pool hit fraction (0 when unused).
+func (s StatsSnapshot) PoolHitRate() float64 {
+	total := s.PoolHits + s.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(total)
+}

@@ -1,23 +1,132 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"time"
 
 	"partsvc/internal/wire"
 )
 
-// TCP is the network transport: frames of wire-encoded messages over
-// TCP connections. Each accepted connection is served by its own
-// goroutine; each endpoint serializes its calls over one connection.
-type TCP struct{}
+// TCP is the network transport: v2 frames (request-ID multiplexed) of
+// wire-encoded messages over TCP connections. Each endpoint keeps many
+// calls in flight on one connection: a writer goroutine coalesces
+// queued frames into single syscalls, a reader goroutine demultiplexes
+// responses by frame ID back to the waiting callers. Servers dispatch
+// handler invocations on a bounded worker pool, so one slow call does
+// not head-of-line-block its connection.
+type TCP struct {
+	// Workers bounds concurrent handler invocations per listener
+	// (0 means DefaultWorkers).
+	Workers int
+	// CallTimeout bounds each endpoint call (0 means no timeout).
+	CallTimeout time.Duration
+
+	stats Stats
+}
+
+// DefaultWorkers is the default per-listener handler pool size.
+var DefaultWorkers = 4 * runtime.GOMAXPROCS(0)
+
+// ErrCallTimeout reports a call that exceeded the transport's
+// CallTimeout while waiting for its response.
+var ErrCallTimeout = errors.New("transport: call timed out")
 
 // NewTCP returns the TCP transport.
 func NewTCP() *TCP { return &TCP{} }
 
+// Stats returns a snapshot of the transport's data-plane counters.
+func (t *TCP) Stats() StatsSnapshot { return t.stats.Snapshot() }
+
+// outFrame is one frame queued for a connection's writer goroutine.
+// Payloads come from the wire buffer pool and are returned to it after
+// the write (or on shutdown).
+type outFrame struct {
+	id      uint64
+	payload []byte
+}
+
+// writeLoop owns the write half of a connection. It coalesces every
+// frame queued while a flush is pending into the next flush, so bursts
+// of concurrent calls reach the kernel in a handful of syscalls. When
+// stop is closed it drains the queue, flushes, and exits. The first
+// write error is reported through onErr (at most once) and stops the
+// loop.
+func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, stats *Stats, onErr func(error)) {
+	fw := wire.NewFrameWriter(conn)
+	writeOne := func(f outFrame) error {
+		err := fw.WriteFrame(f.id, f.payload)
+		if err == nil {
+			stats.FramesSent.Add(1)
+			stats.BytesSent.Add(uint64(len(f.payload)) + 13)
+		}
+		wire.PutBuffer(f.payload)
+		return err
+	}
+	drainDiscard := func() {
+		for {
+			select {
+			case f := <-ch:
+				wire.PutBuffer(f.payload)
+			default:
+				return
+			}
+		}
+	}
+	fail := func(err error) {
+		onErr(err)
+		drainDiscard()
+	}
+	for {
+		select {
+		case f := <-ch:
+			if err := writeOne(f); err != nil {
+				fail(err)
+				return
+			}
+			// Coalesce whatever queued up behind this frame.
+		coalesce:
+			for {
+				select {
+				case f := <-ch:
+					if err := writeOne(f); err != nil {
+						fail(err)
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			if err := fw.Flush(); err != nil {
+				fail(err)
+				return
+			}
+		case <-stop:
+			// Final drain: flush responses queued before the stop.
+			for {
+				select {
+				case f := <-ch:
+					if err := writeOne(f); err != nil {
+						fail(err)
+						return
+					}
+				default:
+					if err := fw.Flush(); err != nil {
+						fail(err)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
 // Serve listens on addr ("host:port"; empty means "127.0.0.1:0") and
-// dispatches incoming messages to h.
+// dispatches incoming messages to h on a bounded worker pool.
 func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -26,29 +135,81 @@ func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	l := &tcpListener{ln: ln, h: h, conns: map[net.Conn]struct{}{}}
+	workers := t.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	l := &tcpListener{
+		ln:       ln,
+		h:        h,
+		conns:    map[net.Conn]struct{}{},
+		dispatch: make(chan dispatchReq, workers),
+		quit:     make(chan struct{}),
+		stats:    &t.stats,
+	}
+	// The bounded worker pool: persistent goroutines shared by every
+	// connection, so a request costs a queue hop, not a goroutine spawn,
+	// and one slow handler can never occupy more than its worker.
+	for i := 0; i < workers; i++ {
+		go l.worker()
+	}
 	go l.acceptLoop()
 	return l, nil
 }
 
+// dispatchReq is one handler invocation queued to the worker pool.
+type dispatchReq struct {
+	req     *wire.Message
+	frameID uint64
+	enqueue func(outFrame) // parks the response on the request's connection
+}
+
 type tcpListener struct {
-	ln     net.Listener
-	h      Handler
+	ln       net.Listener
+	h        Handler
+	dispatch chan dispatchReq // bounded handler pool feed
+	quit     chan struct{}    // closed when the listener closes
+	stats    *Stats
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// worker drains the dispatch queue until the listener closes.
+func (l *tcpListener) worker() {
+	for {
+		select {
+		case d := <-l.dispatch:
+			resp := l.h.Handle(d.req)
+			if resp == nil {
+				resp = ErrorResponse(d.req, "handler returned nil")
+			}
+			buf, err := resp.AppendTo(wire.GetBuffer())
+			if err != nil {
+				buf, _ = ErrorResponse(d.req, "encoding response: %v", err).AppendTo(buf[:0])
+			}
+			d.enqueue(outFrame{id: d.frameID, payload: buf})
+		case <-l.quit:
+			return
+		}
+	}
 }
 
 func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
 
 func (l *tcpListener) Close() error {
 	l.mu.Lock()
+	already := l.closed
 	l.closed = true
 	conns := make([]net.Conn, 0, len(l.conns))
 	for c := range l.conns {
 		conns = append(conns, c)
 	}
 	l.mu.Unlock()
+	if !already {
+		close(l.quit) // releases the worker pool
+	}
 	err := l.ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -74,34 +235,78 @@ func (l *tcpListener) acceptLoop() {
 	}
 }
 
+// serveConn reads frames, dispatches each request to the worker pool,
+// and queues responses (tagged with the request's frame ID) to the
+// connection's writer. A frame that fails to decode gets a best-effort
+// final error response before the connection drops, and bumps the
+// transport_decode_errors counter.
 func (l *tcpListener) serveConn(conn net.Conn) {
-	defer func() {
-		l.mu.Lock()
-		delete(l.conns, conn)
-		l.mu.Unlock()
-		conn.Close()
+	writeCh := make(chan outFrame, 256)
+	writerStop := make(chan struct{})
+	writerDone := make(chan struct{})
+	connDead := make(chan struct{})
+	var deadOnce sync.Once
+	markDead := func(error) { deadOnce.Do(func() { close(connDead) }) }
+	go func() {
+		defer close(writerDone)
+		writeLoop(conn, writeCh, writerStop, l.stats, markDead)
 	}()
-	for {
-		frame, err := wire.ReadFrame(conn)
-		if err != nil {
-			return // closed or corrupt; drop the connection
-		}
-		req, err := wire.UnmarshalMessage(frame)
-		if err != nil {
-			return
-		}
-		resp := l.h.Handle(req)
-		if resp == nil {
-			resp = ErrorResponse(req, "handler returned nil")
-		}
-		data, err := resp.Marshal()
-		if err != nil {
-			data, _ = ErrorResponse(req, "encoding response: %v", err).Marshal()
-		}
-		if err := wire.WriteFrame(conn, data); err != nil {
-			return
+
+	// enqueue parks a response for the writer unless the connection has
+	// already failed.
+	enqueue := func(f outFrame) {
+		select {
+		case writeCh <- f:
+		case <-connDead:
+			wire.PutBuffer(f.payload)
 		}
 	}
+
+	fr := wire.NewFrameReader(conn)
+readLoop:
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			if isDecodeFraming(err) {
+				// Corrupt framing: nothing to correlate a response to.
+				l.stats.DecodeErrors.Add(1)
+			}
+			break
+		}
+		l.stats.FramesReceived.Add(1)
+		l.stats.BytesReceived.Add(uint64(len(f.Payload)) + 13)
+		req, derr := wire.UnmarshalMessage(f.Payload)
+		wire.PutBuffer(f.Payload)
+		if derr != nil {
+			// The frame was well-formed but the message was not: tell
+			// the caller (correlated by frame ID) before dropping the
+			// connection instead of dying silently.
+			l.stats.DecodeErrors.Add(1)
+			buf, _ := ErrorResponse(&wire.Message{}, "decoding request: %v", derr).AppendTo(wire.GetBuffer())
+			enqueue(outFrame{id: f.ID, payload: buf})
+			break
+		}
+		select {
+		case l.dispatch <- dispatchReq{req: req, frameID: f.ID, enqueue: enqueue}:
+		case <-l.quit:
+			break readLoop
+		}
+	}
+	// Flush whatever responses are already queued, then cut loose any
+	// handler still trying to enqueue one.
+	close(writerStop)
+	<-writerDone
+	markDead(nil)
+	l.mu.Lock()
+	delete(l.conns, conn)
+	l.mu.Unlock()
+	conn.Close()
+}
+
+// isDecodeFraming reports whether a frame-read error indicates corrupt
+// framing rather than a clean close or I/O failure.
+func isDecodeFraming(err error) bool {
+	return errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrFrameVersion)
 }
 
 // Dial connects to a served TCP address.
@@ -110,41 +315,215 @@ func (t *TCP) Dial(addr string) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &tcpEndpoint{conn: conn}, nil
-}
-
-type tcpEndpoint struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	closed bool
-}
-
-func (e *tcpEndpoint) Call(m *wire.Message) (*wire.Message, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return nil, ErrClosed
+	e := &tcpEndpoint{
+		conn:    conn,
+		timeout: t.CallTimeout,
+		stats:   &t.stats,
+		writeCh: make(chan outFrame, 256),
+		done:    make(chan struct{}),
+		pending: map[uint64]chan callResult{},
 	}
-	data, err := m.Marshal()
+	go e.readLoop()
+	go writeLoop(conn, e.writeCh, e.done, &t.stats, e.shutdown)
+	return e, nil
+}
+
+type callResult struct {
+	resp *wire.Message
+	err  error
+}
+
+// waiterPool recycles the per-call response channels. A channel is only
+// ever sent to once (delivery and map removal happen atomically under
+// the endpoint mutex), so a drained channel is safe to reuse.
+var waiterPool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+
+func getWaiter() chan callResult { return waiterPool.Get().(chan callResult) }
+
+// putWaiter drains a possibly raced delivery and recycles the channel.
+func putWaiter(ch chan callResult) {
+	select {
+	case <-ch:
+	default:
+	}
+	waiterPool.Put(ch)
+}
+
+// tcpEndpoint is the multiplexed client side of one connection. Any
+// number of goroutines may Call concurrently: each call is assigned a
+// frame ID, queued to the writer, and parked until the reader delivers
+// the matching response. Close (or connection death) interrupts every
+// pending call.
+type tcpEndpoint struct {
+	conn    net.Conn
+	timeout time.Duration
+	stats   *Stats
+	writeCh chan outFrame
+	done    chan struct{} // closed once on shutdown
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	nextID  uint64
+	err     error // terminal error, set before done closes
+	down    bool
+}
+
+// Call sends a message and waits for its response, with the transport's
+// CallTimeout applied when configured.
+func (e *tcpEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	return e.CallContext(context.Background(), m)
+}
+
+// CallContext is Call bounded by a caller-supplied context: cancelling
+// ctx abandons the wait (the response, if it still arrives, is
+// discarded by the reader).
+func (e *tcpEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	payload, err := m.AppendTo(wire.GetBuffer())
 	if err != nil {
+		wire.PutBuffer(payload)
 		return nil, fmt.Errorf("transport: encoding request: %w", err)
 	}
-	if err := wire.WriteFrame(e.conn, data); err != nil {
+	ch := getWaiter()
+	e.mu.Lock()
+	if e.down {
+		err := e.err
+		e.mu.Unlock()
+		putWaiter(ch)
+		wire.PutBuffer(payload)
 		return nil, err
 	}
-	frame, err := wire.ReadFrame(e.conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: reading response: %w", err)
+	e.nextID++
+	id := e.nextID
+	e.pending[id] = ch
+	e.mu.Unlock()
+
+	e.stats.InFlight.Add(1)
+	defer e.stats.InFlight.Add(-1)
+
+	select {
+	case e.writeCh <- outFrame{id: id, payload: payload}:
+	default:
+		// Queue full (or endpoint dying): take the slow path.
+		select {
+		case e.writeCh <- outFrame{id: id, payload: payload}:
+		case <-e.done:
+			e.forget(id, ch)
+			wire.PutBuffer(payload)
+			return nil, e.terminalErr()
+		case <-ctx.Done():
+			e.forget(id, ch)
+			wire.PutBuffer(payload)
+			return nil, ctx.Err()
+		}
 	}
-	return wire.UnmarshalMessage(frame)
+
+	var timeoutC <-chan time.Time
+	if e.timeout > 0 {
+		timer := time.NewTimer(e.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case res := <-ch:
+		putWaiter(ch)
+		return res.resp, res.err
+	case <-e.done:
+		// The response may have been delivered in the same instant the
+		// endpoint went down; prefer it.
+		select {
+		case res := <-ch:
+			putWaiter(ch)
+			return res.resp, res.err
+		default:
+		}
+		e.forget(id, ch)
+		return nil, e.terminalErr()
+	case <-ctx.Done():
+		e.forget(id, ch)
+		return nil, ctx.Err()
+	case <-timeoutC:
+		e.forget(id, ch)
+		return nil, fmt.Errorf("%w after %v", ErrCallTimeout, e.timeout)
+	}
 }
 
-func (e *tcpEndpoint) Close() error {
+// forget abandons a pending call registration and recycles its waiter.
+// Deliveries are atomic with map removal (both happen under mu), so
+// after the delete either no result will ever arrive or it is already
+// buffered in ch — putWaiter drains both cases.
+func (e *tcpEndpoint) forget(id uint64, ch chan callResult) {
+	e.mu.Lock()
+	delete(e.pending, id)
+	e.mu.Unlock()
+	putWaiter(ch)
+}
+
+// terminalErr returns the error that took the endpoint down.
+func (e *tcpEndpoint) terminalErr() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return nil
+	if e.err != nil {
+		return e.err
 	}
-	e.closed = true
-	return e.conn.Close()
+	return ErrClosed
+}
+
+// shutdown takes the endpoint down exactly once: it records the
+// terminal error, closes the connection, and fails every pending call.
+func (e *tcpEndpoint) shutdown(cause error) {
+	e.mu.Lock()
+	if e.down {
+		e.mu.Unlock()
+		return
+	}
+	e.down = true
+	if cause == nil {
+		cause = ErrClosed
+	}
+	e.err = cause
+	// Deliver under the mutex: delivery and map removal must be atomic
+	// so recycled waiter channels can never receive a stale result.
+	for id, ch := range e.pending {
+		delete(e.pending, id)
+		ch <- callResult{nil, cause} // buffered: never blocks
+	}
+	e.mu.Unlock()
+	close(e.done)
+	e.conn.Close()
+}
+
+// readLoop demultiplexes response frames to their waiting callers.
+func (e *tcpEndpoint) readLoop() {
+	fr := wire.NewFrameReader(e.conn)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			e.shutdown(fmt.Errorf("transport: reading response: %w", err))
+			return
+		}
+		e.stats.FramesReceived.Add(1)
+		e.stats.BytesReceived.Add(uint64(len(f.Payload)) + 13)
+		resp, derr := wire.UnmarshalMessage(f.Payload)
+		wire.PutBuffer(f.Payload)
+		if derr != nil {
+			e.stats.DecodeErrors.Add(1)
+			e.shutdown(fmt.Errorf("transport: decoding response: %w", derr))
+			return
+		}
+		e.mu.Lock()
+		if ch, ok := e.pending[f.ID]; ok {
+			delete(e.pending, f.ID)
+			ch <- callResult{resp, nil} // buffered: never blocks
+		}
+		e.mu.Unlock()
+		// Responses without a waiter (timed out or cancelled calls) are
+		// dropped.
+	}
+}
+
+// Close interrupts every pending call with ErrClosed and releases the
+// connection. It never waits for in-flight calls.
+func (e *tcpEndpoint) Close() error {
+	e.shutdown(ErrClosed)
+	return nil
 }

@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,12 +29,35 @@ type HandlerFunc func(m *wire.Message) *wire.Message
 // Handle calls f.
 func (f HandlerFunc) Handle(m *wire.Message) *wire.Message { return f(m) }
 
-// Endpoint is a client connection to a served address.
+// Endpoint is a client connection to a served address. Endpoints are
+// safe for concurrent use: multiplexed transports keep every
+// concurrent Call in flight at once, and Close interrupts calls still
+// waiting with ErrClosed.
 type Endpoint interface {
 	// Call sends a message and waits for the response.
 	Call(m *wire.Message) (*wire.Message, error)
 	// Close releases the endpoint.
 	Close() error
+}
+
+// ContextEndpoint is implemented by endpoints whose calls can be
+// bounded by a caller-supplied context.
+type ContextEndpoint interface {
+	Endpoint
+	// CallContext is Call, abandoned when ctx is cancelled.
+	CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error)
+}
+
+// Call invokes ep with ctx when the endpoint supports cancellation and
+// falls back to a plain Call otherwise.
+func Call(ctx context.Context, ep Endpoint, m *wire.Message) (*wire.Message, error) {
+	if ce, ok := ep.(ContextEndpoint); ok {
+		return ce.CallContext(ctx, m)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ep.Call(m)
 }
 
 // Listener is a served address.
@@ -100,15 +124,21 @@ func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
 func (c *RealClock) NowMS() float64 { return float64(time.Since(c.start)) / float64(time.Millisecond) }
 
 // InProc is an in-process transport: handlers are invoked directly on
-// the caller's goroutine. The zero value is not usable; use NewInProc.
+// the caller's goroutine, so calls from different goroutines proceed
+// concurrently exactly as they do over the multiplexed TCP transport.
+// The zero value is not usable; use NewInProc.
 type InProc struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	next     int
+	stats    Stats
 }
 
 // NewInProc returns an empty in-process transport.
 func NewInProc() *InProc { return &InProc{handlers: map[string]Handler{}} }
+
+// Stats returns a snapshot of the transport's data-plane counters.
+func (t *InProc) Stats() StatsSnapshot { return t.stats.Snapshot() }
 
 // Serve registers a handler under addr (auto-assigned when empty).
 func (t *InProc) Serve(addr string, h Handler) (Listener, error) {
@@ -154,6 +184,17 @@ type inprocEndpoint struct {
 }
 
 func (e *inprocEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	return e.CallContext(context.Background(), m)
+}
+
+// CallContext mirrors the TCP endpoint's contract as far as a direct
+// dispatch can: the context is checked before the handler runs (a
+// handler already executing on the caller's goroutine cannot be
+// interrupted).
+func (e *inprocEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -166,26 +207,44 @@ func (e *inprocEndpoint) Call(m *wire.Message) (*wire.Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchAddr, e.addr)
 	}
+	stats := &e.t.stats
+	stats.InFlight.Add(1)
+	defer stats.InFlight.Add(-1)
 	// Round-trip through the wire encoding even in process, so the
 	// in-process transport exercises exactly the same serialization
-	// paths as TCP (catching non-encodable payloads in tests).
-	data, err := m.Marshal()
+	// paths as TCP (catching non-encodable payloads in tests). The
+	// scratch buffers come from the shared wire pool, as on TCP.
+	data, err := m.AppendTo(wire.GetBuffer())
 	if err != nil {
+		wire.PutBuffer(data)
 		return nil, fmt.Errorf("transport: encoding request: %w", err)
 	}
+	stats.FramesSent.Add(1)
+	stats.BytesSent.Add(uint64(len(data)))
 	req, err := wire.UnmarshalMessage(data)
+	wire.PutBuffer(data)
 	if err != nil {
+		stats.DecodeErrors.Add(1)
 		return nil, fmt.Errorf("transport: decoding request: %w", err)
 	}
 	resp := h.Handle(req)
 	if resp == nil {
 		return nil, fmt.Errorf("transport: handler for %q returned nil", e.addr)
 	}
-	data, err = resp.Marshal()
+	data, err = resp.AppendTo(wire.GetBuffer())
 	if err != nil {
+		wire.PutBuffer(data)
 		return nil, fmt.Errorf("transport: encoding response: %w", err)
 	}
-	return wire.UnmarshalMessage(data)
+	stats.FramesReceived.Add(1)
+	stats.BytesReceived.Add(uint64(len(data)))
+	out, err := wire.UnmarshalMessage(data)
+	wire.PutBuffer(data)
+	if err != nil {
+		stats.DecodeErrors.Add(1)
+		return nil, fmt.Errorf("transport: decoding response: %w", err)
+	}
+	return out, nil
 }
 
 func (e *inprocEndpoint) Close() error {

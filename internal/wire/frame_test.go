@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	for i, p := range payloads {
+		if err := fw.WriteFrame(uint64(100+i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("frames reached the writer before Flush (%d bytes)", buf.Len())
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, p := range payloads {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Version != FrameV2 || f.ID != uint64(100+i) || !bytes.Equal(f.Payload, p) {
+			t.Errorf("frame %d = %+v", i, f)
+		}
+		PutBuffer(f.Payload)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderAcceptsV1Frames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFrameReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != FrameV1 || f.ID != 0 || string(f.Payload) != "legacy" {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameReaderMixedVersions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(7, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	f1, err := fr.Next()
+	if err != nil || f1.Version != FrameV1 || string(f1.Payload) != "v1" {
+		t.Fatalf("first = %+v, %v", f1, err)
+	}
+	f2, err := fr.Next()
+	if err != nil || f2.Version != FrameV2 || f2.ID != 7 || string(f2.Payload) != "v2" {
+		t.Fatalf("second = %+v, %v", f2, err)
+	}
+}
+
+func TestFrameReaderRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 9 // corrupt the version byte
+	if _, err := NewFrameReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrFrameVersion) {
+		t.Errorf("err = %v, want ErrFrameVersion", err)
+	}
+}
+
+func TestFrameReaderRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(1, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("write err = %v, want ErrFrameTooLarge", err)
+	}
+	// A corrupt v2 length word above the limit must be rejected too.
+	raw := []byte{0x80 | 0x7f, 0xff, 0xff, 0xff, FrameV2, 0, 0, 0, 0, 0, 0, 0, 1}
+	if _, err := NewFrameReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("read err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameReaderTruncatedHeader(t *testing.T) {
+	raw := []byte{0x80, 0x00, 0x00, 0x05, FrameV2} // v2 flag but id cut off
+	if _, err := NewFrameReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Error("truncated v2 header must error")
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	if len(b) != 0 {
+		t.Errorf("pooled buffer has len %d", len(b))
+	}
+	b = append(b, strings.Repeat("x", 100)...)
+	PutBuffer(b)
+	hits, misses := PoolStats()
+	if hits+misses == 0 {
+		t.Error("pool stats not counting")
+	}
+	// Oversized buffers are dropped, not pooled.
+	PutBuffer(make([]byte, maxPooledBuffer+1))
+}
+
+func TestMessageAppendToMatchesMarshal(t *testing.T) {
+	m := &Message{
+		Kind: KindRequest, ID: 99, Target: "t@node", Method: "send",
+		Meta: map[string]string{"user": "Alice", "b": "2"}, Body: []byte("payload"),
+	}
+	direct, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct encoding must stay byte-identical to the generic map
+	// encoding: coherence change detection hashes these bytes.
+	generic, err := Marshal(map[string]any{
+		"kind":   int64(m.Kind),
+		"id":     int64(m.ID),
+		"target": m.Target,
+		"method": m.Method,
+		"meta":   map[string]any{"user": "Alice", "b": "2"},
+		"body":   m.Body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, generic) {
+		t.Errorf("direct encoding diverges from generic map encoding\n direct: %x\ngeneric: %x", direct, generic)
+	}
+	back, err := UnmarshalMessage(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != m.ID || back.Method != m.Method || back.Target != m.Target ||
+		string(back.Body) != string(m.Body) || back.Meta["user"] != "Alice" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestUnmarshalMessageSkipsUnknownFields(t *testing.T) {
+	data, err := Marshal(map[string]any{
+		"kind":   int64(KindRequest),
+		"id":     int64(3),
+		"target": "t",
+		"method": "m",
+		"meta":   map[string]any{},
+		"body":   []byte{},
+		"zzz":    []any{int64(1), "future"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := UnmarshalMessage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindRequest || m.ID != 3 {
+		t.Errorf("m = %+v", m)
+	}
+}

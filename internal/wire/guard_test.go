@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// deeplyNestedList encodes n nested single-element lists around an int.
+func deeplyNestedList(n int) []byte {
+	buf := make([]byte, 0, 5*n+9)
+	for i := 0; i < n; i++ {
+		buf = append(buf, tagList, 0, 0, 0, 1)
+	}
+	return append(buf, tagInt, 0, 0, 0, 0, 0, 0, 0, 42)
+}
+
+func TestDecodeValueDepthGuard(t *testing.T) {
+	if _, _, err := DecodeValue(deeplyNestedList(MaxDepth - 1)); err != nil {
+		t.Errorf("nesting below the limit must decode: %v", err)
+	}
+	// A frame nested 100k deep must fail cleanly, not blow the stack.
+	if _, _, err := DecodeValue(deeplyNestedList(100000)); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestAppendValueDepthGuard(t *testing.T) {
+	v := any(int64(1))
+	for i := 0; i < MaxDepth+2; i++ {
+		v = []any{v}
+	}
+	if _, err := AppendValue(nil, v); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestDepthGuardRoundTripAtLimit(t *testing.T) {
+	v := any(int64(7))
+	for i := 0; i < MaxDepth-2; i++ {
+		v = []any{v}
+	}
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Errorf("round trip at depth limit: %v", err)
+	}
+}
+
+func TestAppendValueLengthGuard(t *testing.T) {
+	// A >4 GiB value cannot be built in a unit test, so the overflow
+	// branch itself is covered by code inspection; what must hold here
+	// is that values well within the u32 prefix still encode and that
+	// the guard did not change small-value behaviour.
+	if _, err := AppendValue(nil, string(make([]byte, 1<<16))); err != nil {
+		t.Errorf("64 KiB string must encode: %v", err)
+	}
+	if _, err := AppendValue(nil, make([]byte, 1<<16)); err != nil {
+		t.Errorf("64 KiB bytes must encode: %v", err)
+	}
+}

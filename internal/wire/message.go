@@ -1,6 +1,11 @@
 package wire
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
 
 // MsgKind distinguishes the message types exchanged by the Smock
 // run-time and the transports.
@@ -45,7 +50,10 @@ func (k MsgKind) String() string {
 type Message struct {
 	// Kind is the message type.
 	Kind MsgKind
-	// ID correlates responses with requests.
+	// ID correlates responses with requests at the application level.
+	// (Multiplexed transports additionally correlate by frame-level
+	// request ID, so handlers remain free to use ID as they always
+	// have.)
 	ID uint64
 	// Target names the destination component instance or service.
 	Target string
@@ -57,55 +65,183 @@ type Message struct {
 	Body []byte
 }
 
-// Marshal encodes the message with the wire value encoding.
-func (m *Message) Marshal() ([]byte, error) {
-	meta := make(map[string]any, len(m.Meta))
-	for k, v := range m.Meta {
-		meta[k] = v
-	}
-	return Marshal(map[string]any{
-		"kind":   int64(m.Kind),
-		"id":     int64(m.ID),
-		"target": m.Target,
-		"method": m.Method,
-		"meta":   meta,
-		"body":   m.Body,
-	})
+// Message field keys in their wire order. The encoding is the generic
+// map encoding (sorted keys), emitted directly so the hot path builds
+// no intermediate map[string]any.
+const (
+	keyBody   = "body"
+	keyID     = "id"
+	keyKind   = "kind"
+	keyMeta   = "meta"
+	keyMethod = "method"
+	keyTarget = "target"
+)
+
+func appendKeyedString(buf []byte, key string) []byte {
+	buf = append(buf, tagString)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	return append(buf, key...)
 }
 
-// UnmarshalMessage decodes a message encoded by Marshal.
-func UnmarshalMessage(data []byte) (*Message, error) {
-	v, err := Unmarshal(data)
-	if err != nil {
-		return nil, err
+// AppendTo appends the message encoding to buf (which may come from
+// GetBuffer), producing exactly the bytes Marshal produces.
+func (m *Message) AppendTo(buf []byte) ([]byte, error) {
+	if uint64(len(m.Body)) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: message body of %d bytes", ErrTooLong, len(m.Body))
 	}
-	fields, ok := v.(map[string]any)
-	if !ok {
-		return nil, fmt.Errorf("wire: message is %T, want map", v)
-	}
-	m := &Message{}
-	if kind, ok := fields["kind"].(int64); ok {
-		m.Kind = MsgKind(kind)
-	} else {
-		return nil, fmt.Errorf("wire: message missing kind")
-	}
-	if id, ok := fields["id"].(int64); ok {
-		m.ID = uint64(id)
-	}
-	m.Target, _ = fields["target"].(string)
-	m.Method, _ = fields["method"].(string)
-	if meta, ok := fields["meta"].(map[string]any); ok && len(meta) > 0 {
-		m.Meta = make(map[string]string, len(meta))
-		for k, mv := range meta {
-			s, ok := mv.(string)
-			if !ok {
-				return nil, fmt.Errorf("wire: meta %q has type %T, want string", k, mv)
-			}
-			m.Meta[k] = s
+	buf = append(buf, tagMap)
+	buf = binary.BigEndian.AppendUint32(buf, 6)
+
+	buf = appendKeyedString(buf, keyBody)
+	buf = append(buf, tagBytes)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Body)))
+	buf = append(buf, m.Body...)
+
+	buf = appendKeyedString(buf, keyID)
+	buf = appendInt(buf, int64(m.ID))
+
+	buf = appendKeyedString(buf, keyKind)
+	buf = appendInt(buf, int64(m.Kind))
+
+	buf = appendKeyedString(buf, keyMeta)
+	buf = append(buf, tagMap)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Meta)))
+	if len(m.Meta) > 0 {
+		keys := make([]string, 0, len(m.Meta))
+		for k := range m.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = appendKeyedString(buf, k)
+			buf = appendKeyedString(buf, m.Meta[k])
 		}
 	}
-	if body, ok := fields["body"].([]byte); ok && len(body) > 0 {
-		m.Body = body
+
+	buf = appendKeyedString(buf, keyMethod)
+	buf = appendKeyedString(buf, m.Method)
+
+	buf = appendKeyedString(buf, keyTarget)
+	buf = appendKeyedString(buf, m.Target)
+	return buf, nil
+}
+
+// Marshal encodes the message with the wire value encoding.
+func (m *Message) Marshal() ([]byte, error) { return m.AppendTo(nil) }
+
+// decodeStringField decodes a tagString value without boxing it in an
+// interface.
+func decodeStringField(data []byte) (string, []byte, error) {
+	if len(data) < 5 || data[0] != tagString {
+		return "", nil, fmt.Errorf("wire: expected string value")
+	}
+	n := binary.BigEndian.Uint32(data[1:5])
+	data = data[5:]
+	if uint32(len(data)) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+func decodeIntField(data []byte) (int64, []byte, error) {
+	if len(data) < 9 || data[0] != tagInt {
+		return 0, nil, fmt.Errorf("wire: expected int value")
+	}
+	return int64(binary.BigEndian.Uint64(data[1:9])), data[9:], nil
+}
+
+// UnmarshalMessage decodes a message encoded by Marshal. The field
+// values are decoded in place (no intermediate generic map), so data
+// buffers can be pooled: the returned message does not alias data.
+func UnmarshalMessage(data []byte) (*Message, error) {
+	if len(data) < 5 || data[0] != tagMap {
+		// Not a map at the top level: fall back to the generic decoder
+		// for its precise error messages.
+		v, err := Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: message is %T, want map", v)
+	}
+	count := binary.BigEndian.Uint32(data[1:5])
+	data = data[5:]
+	m := &Message{}
+	sawKind := false
+	for i := uint32(0); i < count; i++ {
+		key, rest, err := decodeStringField(data)
+		if err != nil {
+			return nil, fmt.Errorf("wire: message key: %w", err)
+		}
+		data = rest
+		switch key {
+		case keyKind:
+			var k int64
+			if k, data, err = decodeIntField(data); err != nil {
+				return nil, fmt.Errorf("wire: message kind: %w", err)
+			}
+			m.Kind = MsgKind(k)
+			sawKind = true
+		case keyID:
+			var id int64
+			if id, data, err = decodeIntField(data); err != nil {
+				return nil, fmt.Errorf("wire: message id: %w", err)
+			}
+			m.ID = uint64(id)
+		case keyTarget:
+			if m.Target, data, err = decodeStringField(data); err != nil {
+				return nil, fmt.Errorf("wire: message target: %w", err)
+			}
+		case keyMethod:
+			if m.Method, data, err = decodeStringField(data); err != nil {
+				return nil, fmt.Errorf("wire: message method: %w", err)
+			}
+		case keyMeta:
+			if len(data) < 5 || data[0] != tagMap {
+				return nil, fmt.Errorf("wire: message meta is not a map")
+			}
+			n := binary.BigEndian.Uint32(data[1:5])
+			data = data[5:]
+			if n > 0 {
+				m.Meta = make(map[string]string, n)
+			}
+			for j := uint32(0); j < n; j++ {
+				var mk, mv string
+				if mk, data, err = decodeStringField(data); err != nil {
+					return nil, fmt.Errorf("wire: meta key: %w", err)
+				}
+				if mv, data, err = decodeStringField(data); err != nil {
+					return nil, fmt.Errorf("wire: meta %q has non-string value", mk)
+				}
+				m.Meta[mk] = mv
+			}
+		case keyBody:
+			if len(data) < 5 || data[0] != tagBytes {
+				return nil, fmt.Errorf("wire: message body is not bytes")
+			}
+			n := binary.BigEndian.Uint32(data[1:5])
+			data = data[5:]
+			if uint32(len(data)) < n {
+				return nil, ErrTruncated
+			}
+			if n > 0 {
+				m.Body = make([]byte, n)
+				copy(m.Body, data[:n])
+			}
+			data = data[n:]
+		default:
+			// Forward compatibility: skip unknown fields.
+			var rest []byte
+			if _, rest, err = DecodeValue(data); err != nil {
+				return nil, fmt.Errorf("wire: message field %q: %w", key, err)
+			}
+			data = rest
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after value", len(data))
+	}
+	if !sawKind {
+		return nil, fmt.Errorf("wire: message missing kind")
 	}
 	return m, nil
 }

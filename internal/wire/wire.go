@@ -45,16 +45,36 @@ const (
 // against corrupt length prefixes allocating unbounded memory.
 const MaxFrame = 16 << 20
 
+// MaxDepth bounds value nesting on both encode and decode: a hostile
+// frame of deeply nested lists must not blow the stack.
+const MaxDepth = 64
+
 // ErrFrameTooLarge reports a frame length prefix above the limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // ErrTruncated reports an encoding that ends mid-value.
 var ErrTruncated = errors.New("wire: truncated value")
 
+// ErrTooDeep reports value nesting beyond MaxDepth.
+var ErrTooDeep = errors.New("wire: value nesting exceeds depth limit")
+
+// ErrTooLong reports a string, byte slice, list, or map whose length
+// does not fit the u32 length prefix (it would silently truncate on the
+// wire otherwise).
+var ErrTooLong = errors.New("wire: value length overflows u32 prefix")
+
 // AppendValue appends the encoding of v to buf. Supported types: nil,
 // bool, int/int32/int64, float64, string, []byte, []any, and
-// map[string]any (recursively). Unsupported types return an error.
+// map[string]any (recursively, at most MaxDepth deep). Unsupported
+// types and lengths beyond the u32 prefix return an error.
 func AppendValue(buf []byte, v any) ([]byte, error) {
+	return appendValue(buf, v, 0)
+}
+
+func appendValue(buf []byte, v any, depth int) ([]byte, error) {
+	if depth > MaxDepth {
+		return nil, ErrTooDeep
+	}
 	switch x := v.(type) {
 	case nil:
 		return append(buf, tagNil), nil
@@ -74,24 +94,36 @@ func AppendValue(buf []byte, v any) ([]byte, error) {
 		buf = append(buf, tagFloat)
 		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x)), nil
 	case string:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: string of %d bytes", ErrTooLong, len(x))
+		}
 		buf = append(buf, tagString)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
 		return append(buf, x...), nil
 	case []byte:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: byte slice of %d bytes", ErrTooLong, len(x))
+		}
 		buf = append(buf, tagBytes)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
 		return append(buf, x...), nil
 	case []any:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: list of %d items", ErrTooLong, len(x))
+		}
 		buf = append(buf, tagList)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
 		var err error
 		for _, item := range x {
-			if buf, err = AppendValue(buf, item); err != nil {
+			if buf, err = appendValue(buf, item, depth+1); err != nil {
 				return nil, err
 			}
 		}
 		return buf, nil
 	case map[string]any:
+		if uint64(len(x)) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: map of %d entries", ErrTooLong, len(x))
+		}
 		buf = append(buf, tagMap)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
 		keys := make([]string, 0, len(x))
@@ -101,10 +133,10 @@ func AppendValue(buf []byte, v any) ([]byte, error) {
 		sort.Strings(keys)
 		var err error
 		for _, k := range keys {
-			if buf, err = AppendValue(buf, k); err != nil {
+			if buf, err = appendValue(buf, k, depth+1); err != nil {
 				return nil, err
 			}
-			if buf, err = AppendValue(buf, x[k]); err != nil {
+			if buf, err = appendValue(buf, x[k], depth+1); err != nil {
 				return nil, err
 			}
 		}
@@ -121,8 +153,16 @@ func appendInt(buf []byte, x int64) []byte {
 
 // DecodeValue decodes one value from data, returning it and the
 // remaining bytes. Strings and byte slices are copied, so the result
-// does not alias data.
+// does not alias data. Nesting beyond MaxDepth is rejected with
+// ErrTooDeep, bounding stack use on hostile input.
 func DecodeValue(data []byte) (v any, rest []byte, err error) {
+	return decodeValue(data, 0)
+}
+
+func decodeValue(data []byte, depth int) (v any, rest []byte, err error) {
+	if depth > MaxDepth {
+		return nil, nil, ErrTooDeep
+	}
 	if len(data) == 0 {
 		return nil, nil, ErrTruncated
 	}
@@ -176,7 +216,7 @@ func DecodeValue(data []byte) (v any, rest []byte, err error) {
 		out := make([]any, 0, min(int(n), 1024))
 		for i := uint32(0); i < n; i++ {
 			var item any
-			item, data, err = DecodeValue(data)
+			item, data, err = decodeValue(data, depth+1)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -192,7 +232,7 @@ func DecodeValue(data []byte) (v any, rest []byte, err error) {
 		out := make(map[string]any, min(int(n), 1024))
 		for i := uint32(0); i < n; i++ {
 			var kv, vv any
-			kv, data, err = DecodeValue(data)
+			kv, data, err = decodeValue(data, depth+1)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -200,7 +240,7 @@ func DecodeValue(data []byte) (v any, rest []byte, err error) {
 			if !ok {
 				return nil, nil, fmt.Errorf("wire: map key has type %T, want string", kv)
 			}
-			vv, data, err = DecodeValue(data)
+			vv, data, err = decodeValue(data, depth+1)
 			if err != nil {
 				return nil, nil, err
 			}
