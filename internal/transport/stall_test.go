@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"partsvc/internal/wire"
+)
+
+// TestMuxStalledClientDoesNotStarveOthers is the listener-starvation
+// regression: a peer that floods requests but never reads a byte of
+// the responses fills the connection's write queue. The shared pool
+// workers must never block on that queue — the stalled connection is
+// killed and every other connection keeps being served.
+func TestMuxStalledClientDoesNotStarveOthers(t *testing.T) {
+	tr := NewTCP()
+	tr.WriteTimeout = 250 * time.Millisecond
+	tr.CallTimeout = 10 * time.Second
+	// Big responses so the stalled peer's backlog overwhelms the kernel
+	// socket buffers quickly.
+	body := make([]byte, 32<<10)
+	h := HandlerFunc(func(m *wire.Message) *wire.Message {
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Body: body}
+	})
+	ln, err := tr.Serve("", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	stalled, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	go func() {
+		fw := wire.NewFrameWriter(stalled)
+		req, _ := (&wire.Message{Kind: wire.KindRequest}).Marshal()
+		for i := 0; i < 2000; i++ {
+			if fw.WriteFrame(uint64(i+1), req) != nil {
+				return
+			}
+			if i%64 == 0 && fw.Flush() != nil {
+				return
+			}
+		}
+		fw.Flush()
+	}()
+
+	// A healthy client on its own connection must keep being served
+	// while the stalled one clogs up and dies.
+	ep, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := ep.Call(&wire.Message{Kind: wire.KindRequest}); err != nil {
+			t.Fatalf("healthy call %d starved by the stalled connection: %v", i, err)
+		}
+	}
+
+	// The stalled connection must be torn down, not leaked: once the
+	// server detects the stall it closes the socket, so draining it ends
+	// in EOF/reset well before this deadline.
+	stalled.SetReadDeadline(time.Now().Add(10 * time.Second))
+	drain := make([]byte, 1<<16)
+	for {
+		if _, err := stalled.Read(drain); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server never closed the stalled connection")
+			}
+			return
+		}
+	}
+}
+
+// TestMuxV1ClientRoundTrip is the framing-compatibility regression: a
+// legacy peer that speaks v1 frames (bare length prefix, no request
+// ID) must get its response back v1-framed — a v1 reader rejects the
+// v2 flag bit as an oversized frame.
+func TestMuxV1ClientRoundTrip(t *testing.T) {
+	tr := NewTCP()
+	ln, err := tr.Serve("", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	payload, err := (&wire.Message{Kind: wire.KindRequest, ID: 7, Method: "ping", Body: []byte("legacy")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatalf("reading response header: %v", err)
+	}
+	word := binary.BigEndian.Uint32(hdr[:])
+	if word&0x80000000 != 0 {
+		t.Fatal("response to a v1 request is v2-framed; a v1 peer cannot decode it")
+	}
+	buf := make([]byte, word)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("reading response payload: %v", err)
+	}
+	resp, err := wire.UnmarshalMessage(buf)
+	if err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.Kind != wire.KindResponse || resp.ID != 7 || string(resp.Body) != "echo:legacy" {
+		t.Fatalf("resp = %+v, want echoed response with ID 7", resp)
+	}
+}

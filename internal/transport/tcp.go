@@ -25,6 +25,11 @@ type TCP struct {
 	Workers int
 	// CallTimeout bounds each endpoint call (0 means no timeout).
 	CallTimeout time.Duration
+	// WriteTimeout bounds each write flush on a connection (0 means
+	// DefaultWriteTimeout). A peer that stops reading makes the flush
+	// miss this deadline, which kills the connection instead of
+	// blocking its writer goroutine forever.
+	WriteTimeout time.Duration
 
 	stats Stats
 }
@@ -32,9 +37,23 @@ type TCP struct {
 // DefaultWorkers is the default per-listener handler pool size.
 var DefaultWorkers = 4 * runtime.GOMAXPROCS(0)
 
+// DefaultWriteTimeout is the default per-flush write deadline.
+var DefaultWriteTimeout = 10 * time.Second
+
 // ErrCallTimeout reports a call that exceeded the transport's
 // CallTimeout while waiting for its response.
 var ErrCallTimeout = errors.New("transport: call timed out")
+
+// errStalled reports a connection killed because its peer stopped
+// draining responses (full write queue or missed write deadline).
+var errStalled = errors.New("transport: peer not reading responses")
+
+func (t *TCP) writeTimeout() time.Duration {
+	if t.WriteTimeout > 0 {
+		return t.WriteTimeout
+	}
+	return DefaultWriteTimeout
+}
 
 // NewTCP returns the TCP transport.
 func NewTCP() *TCP { return &TCP{} }
@@ -44,25 +63,38 @@ func (t *TCP) Stats() StatsSnapshot { return t.stats.Snapshot() }
 
 // outFrame is one frame queued for a connection's writer goroutine.
 // Payloads come from the wire buffer pool and are returned to it after
-// the write (or on shutdown).
+// the write (or on shutdown). Responses to v1 requests set v1 so the
+// reply goes out in the framing the peer can decode.
 type outFrame struct {
 	id      uint64
 	payload []byte
+	v1      bool
 }
 
 // writeLoop owns the write half of a connection. It coalesces every
 // frame queued while a flush is pending into the next flush, so bursts
-// of concurrent calls reach the kernel in a handful of syscalls. When
-// stop is closed it drains the queue, flushes, and exits. The first
-// write error is reported through onErr (at most once) and stops the
-// loop.
-func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, stats *Stats, onErr func(error)) {
+// of concurrent calls reach the kernel in a handful of syscalls. Every
+// batch runs under a write deadline: a peer that stops reading fails
+// the flush within timeout instead of pinning this goroutine (and
+// anyone waiting on it) forever. When stop is closed it drains the
+// queue, flushes, and exits. The first write error is reported through
+// onErr (at most once) and stops the loop.
+func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, timeout time.Duration, stats *Stats, onErr func(error)) {
 	fw := wire.NewFrameWriter(conn)
 	writeOne := func(f outFrame) error {
-		err := fw.WriteFrame(f.id, f.payload)
+		var err error
+		if f.v1 {
+			err = fw.WriteFrameV1(f.payload)
+		} else {
+			err = fw.WriteFrame(f.id, f.payload)
+		}
 		if err == nil {
 			stats.FramesSent.Add(1)
-			stats.BytesSent.Add(uint64(len(f.payload)) + 13)
+			hdr := uint64(13)
+			if f.v1 {
+				hdr = 4
+			}
+			stats.BytesSent.Add(uint64(len(f.payload)) + hdr)
 		}
 		wire.PutBuffer(f.payload)
 		return err
@@ -84,6 +116,7 @@ func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, stats *S
 	for {
 		select {
 		case f := <-ch:
+			conn.SetWriteDeadline(time.Now().Add(timeout))
 			if err := writeOne(f); err != nil {
 				fail(err)
 				return
@@ -106,7 +139,9 @@ func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, stats *S
 				return
 			}
 		case <-stop:
-			// Final drain: flush responses queued before the stop.
+			// Final drain: flush responses queued before the stop, still
+			// under a deadline so a dead peer cannot block teardown.
+			conn.SetWriteDeadline(time.Now().Add(timeout))
 			for {
 				select {
 				case f := <-ch:
@@ -140,12 +175,13 @@ func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 		workers = DefaultWorkers
 	}
 	l := &tcpListener{
-		ln:       ln,
-		h:        h,
-		conns:    map[net.Conn]struct{}{},
-		dispatch: make(chan dispatchReq, workers),
-		quit:     make(chan struct{}),
-		stats:    &t.stats,
+		ln:           ln,
+		h:            h,
+		conns:        map[net.Conn]struct{}{},
+		dispatch:     make(chan dispatchReq, workers),
+		quit:         make(chan struct{}),
+		writeTimeout: t.writeTimeout(),
+		stats:        &t.stats,
 	}
 	// The bounded worker pool: persistent goroutines shared by every
 	// connection, so a request costs a queue hop, not a goroutine spawn,
@@ -161,15 +197,17 @@ func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 type dispatchReq struct {
 	req     *wire.Message
 	frameID uint64
+	frameV1 bool           // request arrived v1-framed: reply v1-framed
 	enqueue func(outFrame) // parks the response on the request's connection
 }
 
 type tcpListener struct {
-	ln       net.Listener
-	h        Handler
-	dispatch chan dispatchReq // bounded handler pool feed
-	quit     chan struct{}    // closed when the listener closes
-	stats    *Stats
+	ln           net.Listener
+	h            Handler
+	dispatch     chan dispatchReq // bounded handler pool feed
+	quit         chan struct{}    // closed when the listener closes
+	writeTimeout time.Duration
+	stats        *Stats
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -185,11 +223,14 @@ func (l *tcpListener) worker() {
 			if resp == nil {
 				resp = ErrorResponse(d.req, "handler returned nil")
 			}
+			// AppendTo returns the scratch buffer unmodified on error, so
+			// the pooled buffer is reused for the error response instead
+			// of leaking.
 			buf, err := resp.AppendTo(wire.GetBuffer())
 			if err != nil {
 				buf, _ = ErrorResponse(d.req, "encoding response: %v", err).AppendTo(buf[:0])
 			}
-			d.enqueue(outFrame{id: d.frameID, payload: buf})
+			d.enqueue(outFrame{id: d.frameID, payload: buf, v1: d.frameV1})
 		case <-l.quit:
 			return
 		}
@@ -236,30 +277,44 @@ func (l *tcpListener) acceptLoop() {
 }
 
 // serveConn reads frames, dispatches each request to the worker pool,
-// and queues responses (tagged with the request's frame ID) to the
-// connection's writer. A frame that fails to decode gets a best-effort
-// final error response before the connection drops, and bumps the
-// transport_decode_errors counter.
+// and queues responses (tagged with the request's frame ID and echoing
+// its frame version) to the connection's writer. A frame that fails to
+// decode gets a best-effort final error response before the connection
+// drops, and bumps the transport_decode_errors counter.
 func (l *tcpListener) serveConn(conn net.Conn) {
 	writeCh := make(chan outFrame, 256)
 	writerStop := make(chan struct{})
 	writerDone := make(chan struct{})
 	connDead := make(chan struct{})
 	var deadOnce sync.Once
-	markDead := func(error) { deadOnce.Do(func() { close(connDead) }) }
+	// markDead also closes the connection: it unblocks a writer parked
+	// in conn.Write and makes the read loop exit, so one failed half
+	// tears the whole connection down promptly.
+	markDead := func(error) {
+		deadOnce.Do(func() {
+			close(connDead)
+			conn.Close()
+		})
+	}
 	go func() {
 		defer close(writerDone)
-		writeLoop(conn, writeCh, writerStop, l.stats, markDead)
+		writeLoop(conn, writeCh, writerStop, l.writeTimeout, l.stats, markDead)
 	}()
 
 	// enqueue parks a response for the writer unless the connection has
-	// already failed.
+	// already failed. It NEVER blocks: the pool workers are shared by
+	// every connection, so a peer that sends requests but stops reading
+	// responses (full writeCh behind a stalled writer) must cost this
+	// connection its life, not stall the whole listener.
 	enqueue := func(f outFrame) {
 		select {
 		case writeCh <- f:
+			return
 		case <-connDead:
-			wire.PutBuffer(f.payload)
+		default:
+			markDead(errStalled)
 		}
+		wire.PutBuffer(f.payload)
 	}
 
 	fr := wire.NewFrameReader(conn)
@@ -273,27 +328,35 @@ readLoop:
 			}
 			break
 		}
+		hdrLen := uint64(13)
+		if f.Version == wire.FrameV1 {
+			hdrLen = 4
+		}
 		l.stats.FramesReceived.Add(1)
-		l.stats.BytesReceived.Add(uint64(len(f.Payload)) + 13)
+		l.stats.BytesReceived.Add(uint64(len(f.Payload)) + hdrLen)
 		req, derr := wire.UnmarshalMessage(f.Payload)
 		wire.PutBuffer(f.Payload)
+		frameV1 := f.Version == wire.FrameV1
 		if derr != nil {
 			// The frame was well-formed but the message was not: tell
 			// the caller (correlated by frame ID) before dropping the
 			// connection instead of dying silently.
 			l.stats.DecodeErrors.Add(1)
 			buf, _ := ErrorResponse(&wire.Message{}, "decoding request: %v", derr).AppendTo(wire.GetBuffer())
-			enqueue(outFrame{id: f.ID, payload: buf})
+			enqueue(outFrame{id: f.ID, payload: buf, v1: frameV1})
 			break
 		}
 		select {
-		case l.dispatch <- dispatchReq{req: req, frameID: f.ID, enqueue: enqueue}:
+		case l.dispatch <- dispatchReq{req: req, frameID: f.ID, frameV1: frameV1, enqueue: enqueue}:
 		case <-l.quit:
 			break readLoop
 		}
 	}
 	// Flush whatever responses are already queued, then cut loose any
-	// handler still trying to enqueue one.
+	// handler still trying to enqueue one. The writer's final drain runs
+	// under a write deadline, so a peer that half-closed its read side
+	// without draining responses cannot pin this goroutine (or leak the
+	// connection) past writeTimeout.
 	close(writerStop)
 	<-writerDone
 	markDead(nil)
@@ -324,7 +387,7 @@ func (t *TCP) Dial(addr string) (Endpoint, error) {
 		pending: map[uint64]chan callResult{},
 	}
 	go e.readLoop()
-	go writeLoop(conn, e.writeCh, e.done, &t.stats, e.shutdown)
+	go writeLoop(conn, e.writeCh, e.done, t.writeTimeout(), &t.stats, e.shutdown)
 	return e, nil
 }
 
@@ -378,6 +441,8 @@ func (e *tcpEndpoint) Call(m *wire.Message) (*wire.Message, error) {
 // ctx abandons the wait (the response, if it still arrives, is
 // discarded by the reader).
 func (e *tcpEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	// On error AppendTo returns the scratch buffer unmodified, so it
+	// goes back to the pool instead of leaking.
 	payload, err := m.AppendTo(wire.GetBuffer())
 	if err != nil {
 		wire.PutBuffer(payload)

@@ -24,8 +24,11 @@ import (
 // The high bit of the length word marks a v2 frame. v1 payload lengths
 // are bounded by MaxFrame (16 MiB), so the bit is never set in a legacy
 // frame and a v2 reader decodes both formats transparently; v1 frames
-// report request ID 0. Readers and writers are bufio-backed, so a
-// header+payload pair reaches the kernel in one write.
+// report request ID 0. Compatibility is bidirectional: servers echo the
+// request's frame version in the response (WriteFrameV1), so a legacy
+// v1 peer — whose reader rejects the v2 flag bit — can still read its
+// answers. Readers and writers are bufio-backed, so a header+payload
+// pair reaches the kernel in one write.
 
 const (
 	// FrameV1 is the legacy unversioned framing (length prefix only).
@@ -90,11 +93,13 @@ func (fr *FrameReader) Next() (Frame, error) {
 	}
 	payload := GetBuffer()
 	if cap(payload) < int(n) {
+		PutBuffer(payload) // too small for this frame: recycle, don't leak
 		payload = make([]byte, n)
 	} else {
 		payload = payload[:n]
 	}
 	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		PutBuffer(payload)
 		return Frame{}, fmt.Errorf("wire: reading frame payload: %w", err)
 	}
 	f.Payload = payload
@@ -123,6 +128,24 @@ func (fw *FrameWriter) WriteFrame(id uint64, payload []byte) error {
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload))|frameV2Flag)
 	hdr[4] = FrameV2
 	binary.BigEndian.PutUint64(hdr[5:], id)
+	if _, err := fw.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := fw.bw.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// WriteFrameV1 buffers one legacy v1 frame: a bare length prefix with
+// no version byte or request ID. Servers use it to answer v1 requests,
+// whose senders cannot decode the v2 flag bit.
+func (fw *FrameWriter) WriteFrameV1(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := fw.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: writing frame header: %w", err)
 	}

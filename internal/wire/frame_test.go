@@ -53,6 +53,38 @@ func TestFrameReaderAcceptsV1Frames(t *testing.T) {
 	}
 }
 
+func TestWriteFrameV1RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrameV1([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The encoding must be exactly what a legacy reader expects: a bare
+	// big-endian length prefix, no flag bit, no version byte or ID.
+	want := append([]byte{0, 0, 0, 5}, "reply"...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoded v1 frame = %x, want %x", buf.Bytes(), want)
+	}
+	f, err := NewFrameReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != FrameV1 || f.ID != 0 || string(f.Payload) != "reply" {
+		t.Errorf("frame = %+v", f)
+	}
+	PutBuffer(f.Payload)
+}
+
+func TestWriteFrameV1RejectsOversized(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.WriteFrameV1(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
 func TestFrameReaderMixedVersions(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, []byte("v1")); err != nil {

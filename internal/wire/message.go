@@ -83,11 +83,36 @@ func appendKeyedString(buf []byte, key string) []byte {
 	return append(buf, key...)
 }
 
-// AppendTo appends the message encoding to buf (which may come from
-// GetBuffer), producing exactly the bytes Marshal produces.
-func (m *Message) AppendTo(buf []byte) ([]byte, error) {
+// checkLengths rejects any field whose u32 length prefix would
+// overflow. All checks run before AppendTo writes a byte, so a failed
+// encode leaves buf untouched.
+func (m *Message) checkLengths() error {
 	if uint64(len(m.Body)) > math.MaxUint32 {
-		return nil, fmt.Errorf("%w: message body of %d bytes", ErrTooLong, len(m.Body))
+		return fmt.Errorf("%w: message body of %d bytes", ErrTooLong, len(m.Body))
+	}
+	if uint64(len(m.Target)) > math.MaxUint32 {
+		return fmt.Errorf("%w: message target of %d bytes", ErrTooLong, len(m.Target))
+	}
+	if uint64(len(m.Method)) > math.MaxUint32 {
+		return fmt.Errorf("%w: message method of %d bytes", ErrTooLong, len(m.Method))
+	}
+	for k, v := range m.Meta {
+		if uint64(len(k)) > math.MaxUint32 {
+			return fmt.Errorf("%w: message meta key of %d bytes", ErrTooLong, len(k))
+		}
+		if uint64(len(v)) > math.MaxUint32 {
+			return fmt.Errorf("%w: message meta value of %d bytes", ErrTooLong, len(v))
+		}
+	}
+	return nil
+}
+
+// AppendTo appends the message encoding to buf (which may come from
+// GetBuffer), producing exactly the bytes Marshal produces. On error
+// buf is returned unmodified, so pooled buffers stay recyclable.
+func (m *Message) AppendTo(buf []byte) ([]byte, error) {
+	if err := m.checkLengths(); err != nil {
+		return buf, err
 	}
 	buf = append(buf, tagMap)
 	buf = binary.BigEndian.AppendUint32(buf, 6)
