@@ -11,6 +11,10 @@
 //	BenchmarkMailSendThroughView    — steady-state runtime request path
 //	BenchmarkWireMessage            — serialization substrate
 //	BenchmarkRPCThroughput          — data-plane concurrency (A4)
+//
+// The simulator-core scheduler benchmarks (A5b) live next to the code
+// they measure: BenchmarkSimCore and BenchmarkCalendarVsHeap in
+// internal/sim.
 package partsvc
 
 import (

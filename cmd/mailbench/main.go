@@ -1,23 +1,36 @@
 // Command mailbench regenerates the paper's evaluation artifacts: the
-// Figure 7 latency table (nine scenarios at 1..5 clients over the
-// deterministic network simulator), the Section 4.2 one-time cost
-// breakdown, and the ablation sweeps indexed in DESIGN.md.
+// Figure 7 latency table (nine scenarios over the deterministic network
+// simulator), the Section 4.2 one-time cost breakdown, and the ablation
+// sweeps indexed in DESIGN.md.
 //
 // Usage:
 //
-//	mailbench                 # Figure 7 table
-//	mailbench -onetime        # one-time cost breakdown (E7)
-//	mailbench -sweep          # coherence policy sweep (A2)
-//	mailbench -scaling        # planner scaling on Waxman topologies (A3)
-//	mailbench -clients 8      # widen the client sweep
+//	mailbench                   # Figure 7 table
+//	mailbench -onetime          # one-time cost breakdown (E7)
+//	mailbench -sweep            # coherence policy sweep (A2)
+//	mailbench -scaling          # planner scaling on Waxman topologies (A3)
+//	mailbench -clients 8        # widen the client sweep (1..8 per scenario)
+//	mailbench -counts 1,100,10000   # explicit client counts instead of 1..N
+//	mailbench -workers 4        # scenario-sweep parallelism (default GOMAXPROCS)
+//	mailbench -simstats         # print simulator scheduler counters
+//
+// Scenario runs fan out over a bounded worker pool; output is
+// byte-identical for every -workers value (each scenario is its own
+// deterministic simulation with a derived RNG seed). -procs selects the
+// goroutine-process simulation engine instead of the default callback
+// fast path — same rows, useful for engine A/B measurements.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"partsvc/internal/bench"
+	"partsvc/internal/metrics"
 )
 
 func main() {
@@ -25,17 +38,32 @@ func main() {
 	sweep := flag.Bool("sweep", false, "coherence policy sweep (A2)")
 	scaling := flag.Bool("scaling", false, "planner scaling sweep (A3)")
 	clients := flag.Int("clients", 0, "override the maximum client count")
+	counts := flag.String("counts", "", "comma-separated client counts per scenario (overrides -clients)")
 	sends := flag.Int("sends", 0, "override sends per client")
+	workers := flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+	procs := flag.Bool("procs", false, "use the goroutine-process simulation engine (slow path)")
+	simstats := flag.Bool("simstats", false, "print simulator scheduler counters after the run")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	if *clients > 0 {
 		cfg.MaxClients = *clients
 	}
+	if *counts != "" {
+		list, err := parseCounts(*counts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		cfg.ClientCounts = list
+	}
 	if *sends > 0 {
 		cfg.SendsPerClient = *sends
 	}
+	cfg.Workers = *workers
+	cfg.Procs = *procs
 
+	start := time.Now()
 	switch {
 	case *onetime:
 		costs, err := bench.MeasureOneTimeCosts()
@@ -62,4 +90,24 @@ func main() {
 		fmt.Print(bench.Fig7Table(bench.RunFig7(cfg)))
 		fmt.Println("\nGroups (paper): 1 = {SF,SS0,DF,DS0}  2 = {SS1000,DS1000}  3 = {SS500,DS500}  4 = {SS}")
 	}
+	if *simstats {
+		elapsed := time.Since(start)
+		events, callbacks, switches := bench.SimCounters()
+		fmt.Printf("\nSimulator: %d events (%d callback fast-path, %d process switches) in %v — %.0f events/sec, %d workers\n",
+			events, callbacks, switches, elapsed.Round(time.Millisecond),
+			metrics.PerSec(events, elapsed), bench.Workers(cfg.Workers))
+	}
+}
+
+// parseCounts parses "1,100,10000" into client counts.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -counts entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -54,6 +54,27 @@ type Config struct {
 	// MissEvery makes every N-th receive sweep a cache miss that fetches
 	// from the primary (5 reproduces the ViewMailServer's RRF of 0.2).
 	MissEvery int
+
+	// ClientCounts, when non-empty, replaces the 1..MaxClients sweep
+	// with an explicit list of per-scenario client counts — the knob for
+	// city-scale grids (e.g. [1, 100, 10000]) where enumerating every
+	// count would be absurd.
+	ClientCounts []int
+	// Workers bounds the worker pool that fans scenario runs out in
+	// parallel (each runs its own sim.Env); 0 means GOMAXPROCS. Results
+	// are byte-identical to a serial run regardless of the setting.
+	Workers int
+	// Seed derives the per-scenario RNG seed handed to each sim.Env, so
+	// stochastic workloads stay reproducible under any Workers value.
+	Seed int64
+	// Procs selects the goroutine-process simulation engine instead of
+	// the default callback fast path. Both produce byte-identical rows
+	// (asserted by the equivalence tests); the process engine exists as
+	// the oracle and costs two channel handoffs per event.
+	Procs bool
+	// HeapQueue selects the reference binary-heap event queue instead
+	// of the calendar queue (again byte-identical, again the oracle).
+	HeapQueue bool
 }
 
 // DefaultConfig returns the documented default parameters.
@@ -80,7 +101,22 @@ func DefaultConfig() Config {
 		ProxyOverheadMS: 0.05,
 
 		MissEvery: 5,
+
+		Seed: 1,
 	}
+}
+
+// clientCounts returns the per-scenario client counts of the grid:
+// ClientCounts when set, else 1..MaxClients.
+func (c Config) clientCounts() []int {
+	if len(c.ClientCounts) > 0 {
+		return c.ClientCounts
+	}
+	counts := make([]int, c.MaxClients)
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	return counts
 }
 
 // Scenario is one Figure 7 configuration.

@@ -19,38 +19,64 @@ type Row struct {
 	Sends    int
 }
 
-// RunFig7 reproduces Figure 7: every scenario at 1..MaxClients clients.
-// Rows appear scenario-major in Scenarios() order.
+// RunFig7 reproduces Figure 7: every scenario at each grid client
+// count (1..MaxClients, or ClientCounts when set). Scenario runs are
+// independent sim.Envs, so the grid fans out over a bounded worker
+// pool (Config.Workers, default GOMAXPROCS); rows appear scenario-major
+// in Scenarios() order and are byte-identical to a serial run.
 func RunFig7(cfg Config) []Row {
-	var rows []Row
-	for _, sc := range Scenarios() {
-		for n := 1; n <= cfg.MaxClients; n++ {
-			rows = append(rows, RunScenario(cfg, sc, n))
-		}
-	}
+	scs := Scenarios()
+	counts := cfg.clientCounts()
+	rows := make([]Row, len(scs)*len(counts))
+	forEach(cfg.Workers, len(rows), func(i int) {
+		rows[i] = RunScenario(cfg, scs[i/len(counts)], counts[i%len(counts)])
+	})
 	return rows
 }
 
+// simStats aggregates scheduler counters across every scenario run in
+// the process (concurrency-safe: parallel sweeps bump them from worker
+// goroutines).
+var simStats struct {
+	events, callbacks, switches metrics.Counter
+}
+
+// SimCounters reports the simulator scheduler counters accumulated by
+// all scenario runs so far: total events dispatched, fast-path
+// callback events, and slow-path process switches.
+func SimCounters() (events, callbackEvents, procSwitches int64) {
+	return simStats.events.Load(), simStats.callbacks.Load(), simStats.switches.Load()
+}
+
 // RunScenario simulates one scenario at one client count and returns
-// its latency row. The simulation is deterministic.
+// its latency row. The simulation is deterministic: the same Config
+// yields bit-identical rows under either engine, either event queue,
+// and any sweep parallelism.
 func RunScenario(cfg Config, sc Scenario, clients int) Row {
-	env := sim.NewEnv()
+	env := sim.NewEnvWith(sim.Options{
+		Seed:      scenarioSeed(cfg.Seed, sc.Name, clients),
+		HeapQueue: cfg.HeapQueue,
+	})
+	defer env.Stop()
 	w := &scenarioWorld{cfg: cfg, sc: sc, env: env}
 	w.build()
 	rec := &metrics.Recorder{}
 	w.active = clients
-	for c := 0; c < clients; c++ {
-		id := c
-		env.Go(fmt.Sprintf("client-%d", id), func(p *sim.Proc) {
-			w.runClient(p, rec)
-			w.active--
-		})
-	}
-	// Time-driven policies flush from a background process (the Smock
+	// Time-driven policies flush from a background flusher (the Smock
 	// runtime's periodic FlushIfDue loop); it drains once after the last
 	// client finishes and exits.
+	timeDriven := false
 	if w.replica != nil {
-		if _, timeDriven := w.replica.Policy().NextDeadline(0); timeDriven {
+		_, timeDriven = w.replica.Policy().NextDeadline(0)
+	}
+	if cfg.Procs {
+		for c := 0; c < clients; c++ {
+			env.Go(fmt.Sprintf("client-%d", c), func(p *sim.Proc) {
+				w.runClient(p, rec)
+				w.active--
+			})
+		}
+		if timeDriven {
 			env.Go("flusher", func(p *sim.Proc) {
 				for {
 					deadline, _ := w.replica.NextDeadline()
@@ -64,8 +90,19 @@ func RunScenario(cfg Config, sc Scenario, clients int) Row {
 				}
 			})
 		}
+	} else {
+		for c := 0; c < clients; c++ {
+			w.startClient(rec)
+		}
+		if timeDriven {
+			w.startFlusher()
+		}
 	}
 	env.Run()
+	st := env.Stats()
+	simStats.events.Add(st.Events)
+	simStats.callbacks.Add(st.CallbackEvents)
+	simStats.switches.Add(st.ProcSwitches)
 	return Row{
 		Scenario: sc.Name,
 		Clients:  clients,

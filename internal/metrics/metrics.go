@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a concurrency-safe monotonic counter for data-plane
@@ -34,6 +35,16 @@ func (c *Counter) Rate(other *Counter) float64 {
 		return 0
 	}
 	return float64(a) / float64(a+b)
+}
+
+// PerSec converts a count over an elapsed wall-clock duration into a
+// rate (events/sec throughput reporting); 0 when elapsed is not
+// positive.
+func PerSec(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
 }
 
 // Recorder accumulates float64 samples (milliseconds by convention).

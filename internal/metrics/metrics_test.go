@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRecorderEmpty(t *testing.T) {
@@ -161,5 +162,20 @@ func TestCounterConcurrent(t *testing.T) {
 	var a, b Counter
 	if r := a.Rate(&b); r != 0 {
 		t.Errorf("empty Rate = %v, want 0", r)
+	}
+}
+
+func TestPerSec(t *testing.T) {
+	if got := PerSec(1000, time.Second); got != 1000 {
+		t.Errorf("PerSec(1000, 1s) = %v", got)
+	}
+	if got := PerSec(500, 250*time.Millisecond); got != 2000 {
+		t.Errorf("PerSec(500, 250ms) = %v", got)
+	}
+	if got := PerSec(42, 0); got != 0 {
+		t.Errorf("PerSec with zero elapsed = %v, want 0", got)
+	}
+	if got := PerSec(42, -time.Second); got != 0 {
+		t.Errorf("PerSec with negative elapsed = %v, want 0", got)
 	}
 }

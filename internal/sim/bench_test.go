@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSimCore measures raw scheduler throughput (reported as
+// events/sec) for the three hot primitives of the Figure 7 workload —
+// timers, link transfers, and queue handoffs — at 1k/10k/100k
+// concurrent entities, on both engines. "callback" is the fast path
+// (inline dispatch, zero goroutines); "proc" is the goroutine-process
+// slow path (two channel handoffs per event), which is the seed
+// scheduler's only mode. The A5b acceptance bar is callback >= 5x proc
+// at 10k entities.
+func BenchmarkSimCore(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		n := n
+		b.Run(fmt.Sprintf("timers/callback-%d", n), func(b *testing.B) {
+			benchEvents(b, func(env *Env) { startTimerEntities(env, n, 10) })
+		})
+		b.Run(fmt.Sprintf("timers/proc-%d", n), func(b *testing.B) {
+			benchEvents(b, func(env *Env) {
+				for i := 0; i < n; i++ {
+					env.Go("t", func(p *Proc) {
+						for h := 0; h < 10; h++ {
+							p.Sleep(1)
+						}
+					})
+				}
+			})
+		})
+	}
+	// Link transfers and queue handoffs at the acceptance-bar size.
+	const n = 10_000
+	b.Run(fmt.Sprintf("link/callback-%d", n), func(b *testing.B) {
+		benchEvents(b, func(env *Env) {
+			link := NewLink(env, 1, 100)
+			for i := 0; i < n; i++ {
+				hops := 10
+				var next func(float64)
+				next = func(float64) {
+					if hops--; hops >= 0 {
+						link.TransferFn(1000, next)
+					}
+				}
+				next(0)
+			}
+		})
+	})
+	b.Run(fmt.Sprintf("link/proc-%d", n), func(b *testing.B) {
+		benchEvents(b, func(env *Env) {
+			link := NewLink(env, 1, 100)
+			for i := 0; i < n; i++ {
+				env.Go("x", func(p *Proc) {
+					for h := 0; h < 10; h++ {
+						link.Transfer(p, 1000)
+					}
+				})
+			}
+		})
+	})
+	b.Run(fmt.Sprintf("queue/callback-%d", n), func(b *testing.B) {
+		benchEvents(b, func(env *Env) {
+			for i := 0; i < n/2; i++ {
+				q := NewQueue(env)
+				items := 10
+				var consume func(any)
+				consume = func(any) {
+					if items--; items > 0 {
+						q.GetFn(consume)
+					}
+				}
+				q.GetFn(consume)
+				var produce func()
+				sent := 10
+				produce = func() {
+					q.Put(0)
+					if sent--; sent > 0 {
+						env.After(1, produce)
+					}
+				}
+				env.After(1, produce)
+			}
+		})
+	})
+	b.Run(fmt.Sprintf("queue/proc-%d", n), func(b *testing.B) {
+		benchEvents(b, func(env *Env) {
+			for i := 0; i < n/2; i++ {
+				q := NewQueue(env)
+				env.Go("c", func(p *Proc) {
+					for h := 0; h < 10; h++ {
+						q.Get(p)
+					}
+				})
+				env.Go("p", func(p *Proc) {
+					for h := 0; h < 10; h++ {
+						q.Put(0)
+						p.Sleep(1)
+					}
+				})
+			}
+		})
+	})
+}
+
+// startTimerEntities schedules n self-rescheduling callback chains of
+// the given hop count — the zero-goroutine analogue of n sleeping
+// processes.
+func startTimerEntities(env *Env, n, hops int) {
+	for i := 0; i < n; i++ {
+		left := hops
+		var tick func()
+		tick = func() {
+			if left--; left > 0 {
+				env.After(1, tick)
+			}
+		}
+		env.After(1, tick)
+	}
+}
+
+// benchEvents runs one populated environment per iteration and reports
+// scheduler throughput.
+func benchEvents(b *testing.B, populate func(env *Env)) {
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := NewEnv()
+		populate(env)
+		env.Run()
+		events += env.Stats().Events
+		env.Stop()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkCalendarVsHeap isolates the event-queue swap: identical
+// uniform timer loads through each queue implementation.
+func BenchmarkCalendarVsHeap(b *testing.B) {
+	for _, opt := range []struct {
+		name string
+		o    Options
+	}{{"calendar", Options{}}, {"heap", Options{HeapQueue: true}}} {
+		b.Run(opt.name, func(b *testing.B) {
+			var events int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env := NewEnvWith(opt.o)
+				startTimerEntities(env, 10_000, 10)
+				env.Run()
+				events += env.Stats().Events
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}

@@ -1,56 +1,117 @@
 package sim
 
-import "container/list"
-
-// Queue is an unbounded FIFO mailbox between processes. Get blocks until
-// an item is available; Put never blocks. The zero value is not usable;
-// create queues with NewQueue.
+// Queue is an unbounded FIFO mailbox between processes and/or
+// callbacks. Get blocks the calling process until an item is
+// available; GetFn is the fast-path equivalent, delivering to a
+// callback with no goroutine handoff. Put never blocks. The zero
+// value is not usable; create queues with NewQueue.
 type Queue struct {
 	env     *Env
-	items   *list.List
-	waiters *list.List // *Proc, FIFO
+	items   []any // ring: live items are items[head:]
+	head    int
+	waiters []qwaiter // ring: live waiters are waiters[whead:], FIFO
+	whead   int
+}
+
+// qwaiter is one parked consumer: a blocked process or a callback.
+type qwaiter struct {
+	proc *Proc
+	fn   func(v any)
 }
 
 // NewQueue returns an empty queue bound to the environment.
 func NewQueue(env *Env) *Queue {
-	return &Queue{env: env, items: list.New(), waiters: list.New()}
+	return &Queue{env: env}
 }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return q.items.Len() }
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+func (q *Queue) popItem() any {
+	v := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items, q.head = q.items[:0], 0
+	}
+	return v
+}
+
+func (q *Queue) takeWaiter() (qwaiter, bool) {
+	if q.whead == len(q.waiters) {
+		return qwaiter{}, false
+	}
+	w := q.waiters[q.whead]
+	q.waiters[q.whead] = qwaiter{}
+	q.whead++
+	if q.whead == len(q.waiters) {
+		q.waiters, q.whead = q.waiters[:0], 0
+	}
+	return w, true
+}
 
 // Put appends an item and wakes the oldest waiting consumer, if any.
-// Put may be called from any process (or before Run via a zero-time
-// process).
+// Put may be called from any process, callback, or before Run.
 func (q *Queue) Put(v any) {
-	q.items.PushBack(v)
-	if w := q.waiters.Front(); w != nil {
-		q.waiters.Remove(w)
-		q.env.unblock(w.Value.(*Proc))
+	q.items = append(q.items, v)
+	if w, ok := q.takeWaiter(); ok {
+		if w.proc != nil {
+			q.env.unblock(w.proc)
+		} else {
+			// Wake the callback waiter through an event at the current
+			// time — the exact analogue of unblocking a process — and
+			// re-check on dispatch, since another consumer may take the
+			// item first.
+			q.env.schedule(q.env.now, nil, q.wakeFn(w.fn))
+		}
+	}
+}
+
+// wakeFn resumes a callback waiter: deliver if an item is present,
+// otherwise re-park at the back of the waiter list (mirroring the
+// re-check loop of the process path).
+func (q *Queue) wakeFn(fn func(v any)) func() {
+	return func() {
+		q.env.blocked--
+		if q.Len() > 0 {
+			fn(q.popItem())
+			return
+		}
+		q.waiters = append(q.waiters, qwaiter{fn: fn})
+		q.env.blocked++
 	}
 }
 
 // Get removes and returns the oldest item, blocking the calling process
 // until one is available.
 func (q *Queue) Get(p *Proc) any {
-	for q.items.Len() == 0 {
-		q.waiters.PushBack(p)
+	for q.Len() == 0 {
+		q.waiters = append(q.waiters, qwaiter{proc: p})
 		p.block()
 	}
-	front := q.items.Front()
-	q.items.Remove(front)
-	return front.Value
+	return q.popItem()
+}
+
+// GetFn delivers the oldest item to fn: synchronously when one is
+// queued (like Get's no-block path), otherwise later, when one
+// arrives. Waiting consumers — processes and callbacks alike — are
+// served in strict FIFO order. The fast-path counterpart of Get.
+func (q *Queue) GetFn(fn func(v any)) {
+	if q.Len() > 0 {
+		fn(q.popItem())
+		return
+	}
+	q.waiters = append(q.waiters, qwaiter{fn: fn})
+	q.env.blocked++
 }
 
 // TryGet removes and returns the oldest item without blocking; ok is
 // false when the queue is empty.
 func (q *Queue) TryGet() (v any, ok bool) {
-	front := q.items.Front()
-	if front == nil {
+	if q.Len() == 0 {
 		return nil, false
 	}
-	q.items.Remove(front)
-	return front.Value, true
+	return q.popItem(), true
 }
 
 // Resource is a counted resource (semaphore) with FIFO admission: the
@@ -59,12 +120,16 @@ type Resource struct {
 	env      *Env
 	capacity int
 	inUse    int
-	waiters  *list.List // waiter, FIFO
+	waiters  []*waiter // ring: live waiters are waiters[whead:], FIFO
+	whead    int
 }
 
+// waiter is one parked acquirer: a blocked process or a callback.
 type waiter struct {
-	proc *Proc
-	n    int
+	proc     *Proc
+	fn       func()
+	n        int
+	admitted bool
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -72,52 +137,90 @@ func NewResource(env *Env, capacity int) *Resource {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Resource{env: env, capacity: capacity, waiters: list.New()}
+	return &Resource{env: env, capacity: capacity}
 }
 
 // InUse returns the currently acquired units.
 func (r *Resource) InUse() int { return r.inUse }
+
+func (r *Resource) nwaiters() int { return len(r.waiters) - r.whead }
+
+func (r *Resource) frontWaiter() *waiter {
+	if r.whead == len(r.waiters) {
+		return nil
+	}
+	return r.waiters[r.whead]
+}
+
+func (r *Resource) dropFrontWaiter() {
+	r.waiters[r.whead] = nil
+	r.whead++
+	if r.whead == len(r.waiters) {
+		r.waiters, r.whead = r.waiters[:0], 0
+	}
+}
 
 // Acquire obtains n units (n <= capacity), blocking in FIFO order.
 func (r *Resource) Acquire(p *Proc, n int) {
 	if n > r.capacity {
 		panic("sim: Acquire exceeds resource capacity")
 	}
-	if r.waiters.Len() == 0 && r.inUse+n <= r.capacity {
+	if r.nwaiters() == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return
 	}
-	elem := r.waiters.PushBack(&waiter{proc: p, n: n})
+	w := &waiter{proc: p, n: n}
+	r.waiters = append(r.waiters, w)
 	for {
 		p.block()
 		// Admitted only when the releaser has granted our units and
 		// removed us from the wait list.
-		if elem.Value.(*waiter).proc == nil {
+		if w.admitted {
 			return
 		}
 	}
 }
 
-// Release returns n units and admits waiting processes in FIFO order.
+// AcquireFn obtains n units and then runs fn: synchronously when the
+// units are free (like Acquire's no-block path), otherwise when a
+// Release admits this waiter, in the same FIFO order processes honor.
+// The fast-path counterpart of Acquire.
+func (r *Resource) AcquireFn(n int, fn func()) {
+	if n > r.capacity {
+		panic("sim: Acquire exceeds resource capacity")
+	}
+	if r.nwaiters() == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, &waiter{fn: fn, n: n})
+	r.env.blocked++
+}
+
+// Release returns n units and admits waiting acquirers in FIFO order.
 func (r *Resource) Release(n int) {
 	r.inUse -= n
 	if r.inUse < 0 {
 		panic("sim: Release below zero")
 	}
 	for {
-		front := r.waiters.Front()
-		if front == nil {
-			return
-		}
-		w := front.Value.(*waiter)
-		if r.inUse+w.n > r.capacity {
+		w := r.frontWaiter()
+		if w == nil || r.inUse+w.n > r.capacity {
 			return
 		}
 		r.inUse += w.n
-		r.waiters.Remove(front)
-		proc := w.proc
-		w.proc = nil // mark admitted
-		r.env.unblock(proc)
+		r.dropFrontWaiter()
+		w.admitted = true
+		if w.proc != nil {
+			r.env.unblock(w.proc)
+		} else {
+			fn := w.fn
+			r.env.schedule(r.env.now, nil, func() {
+				r.env.blocked--
+				fn()
+			})
+		}
 	}
 }
 
@@ -129,6 +232,10 @@ func NewMutex(env *Env) *Mutex { return &Mutex{r: NewResource(env, 1)} }
 
 // Lock acquires the mutex, blocking in FIFO order.
 func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// LockFn acquires the mutex and then runs fn — synchronously when the
+// mutex is free. The fast-path counterpart of Lock.
+func (m *Mutex) LockFn(fn func()) { m.r.AcquireFn(1, fn) }
 
 // Unlock releases the mutex.
 func (m *Mutex) Unlock() { m.r.Release(1) }
@@ -164,18 +271,33 @@ func (l *Link) TxMS(bytes int) float64 {
 	return float64(bytes) * 8 / (l.BandwidthMbps * 1e6) * 1e3
 }
 
+// admit reserves the link for a payload and returns the virtual time at
+// which delivery completes (queueing + transmission + propagation).
+func (l *Link) admit(bytes int) (end float64) {
+	start := l.env.now
+	if l.busyUntil < start {
+		l.busyUntil = start
+	}
+	l.busyUntil += l.TxMS(bytes)
+	l.BytesCarried += int64(bytes)
+	return l.busyUntil + l.LatencyMS
+}
+
 // Transfer moves bytes across the link, blocking the calling process for
 // queueing + transmission + propagation, and returns the total delay
 // experienced.
 func (l *Link) Transfer(p *Proc, bytes int) float64 {
 	start := p.Now()
-	tx := l.TxMS(bytes)
-	if l.busyUntil < start {
-		l.busyUntil = start
-	}
-	l.busyUntil += tx
-	l.BytesCarried += int64(bytes)
-	end := l.busyUntil + l.LatencyMS
-	p.SleepUntil(end)
+	p.SleepUntil(l.admit(bytes))
 	return p.Now() - start
+}
+
+// TransferFn moves bytes across the link and runs fn on delivery with
+// the total delay experienced. The fast-path counterpart of Transfer:
+// one timer event, no goroutine handoff.
+func (l *Link) TransferFn(bytes int, fn func(delayMS float64)) {
+	start := l.env.now
+	l.env.At(l.admit(bytes), func() {
+		fn(l.env.now - start)
+	})
 }

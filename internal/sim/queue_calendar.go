@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// calQueue is a calendar queue (R. Brown, CACM 1988): events hash into
+// day buckets of a repeating calendar year, each bucket a sorted
+// singly-linked list of pooled event records. Amortized O(1)
+// push/pop against the O(log n) of a binary heap, which dominates the
+// scheduler's cost at large event populations. The bucket count and
+// day width adapt to the live population; resizes also purge canceled
+// entries (lazy dead-entry reclamation).
+//
+// Correctness does not depend on the hash: an event is only dequeued
+// from the current day's bucket when its timestamp falls inside the
+// current day, and a full fruitless year falls back to a direct
+// minimum search. Ordering is the simulator's (at, seq) contract.
+type calQueue struct {
+	buckets []*event
+	// tails tracks each bucket's last entry so the dominant insertion
+	// pattern — equal-or-later timestamps with rising seq, e.g. a burst
+	// of simultaneous events — appends in O(1) instead of walking the
+	// list (the classic calendar-queue quadratic pathology).
+	tails []*event
+	width float64 // day length in virtual ms
+	n     int     // queued entries (including canceled-but-unpurged)
+	cur   int     // bucket the scan is on
+	top   float64 // upper time edge of the current day
+
+	growAt, shrinkAt int
+
+	stats *Stats
+	free  func(*event) // returns purged records to the Env pool
+}
+
+// maxVirtualDay bounds at/width before conversion to an integer bucket
+// index; anything beyond (or non-finite) parks in bucket 0, which the
+// dequeue guards make merely a performance detail.
+const maxVirtualDay = float64(1 << 53)
+
+func newCalQueue(stats *Stats) *calQueue {
+	q := &calQueue{stats: stats}
+	q.reinit(2, 1, 0)
+	return q
+}
+
+func (q *calQueue) reinit(nbuckets int, width, start float64) {
+	q.buckets = make([]*event, nbuckets)
+	q.tails = make([]*event, nbuckets)
+	q.width = width
+	q.growAt = 2 * nbuckets
+	q.shrinkAt = nbuckets/2 - 2
+	q.cur = q.indexOf(start)
+	q.top = (math.Floor(start/width) + 1) * width
+}
+
+func (q *calQueue) len() int { return q.n }
+
+func (q *calQueue) indexOf(at float64) int {
+	v := at / q.width
+	if !(v < maxVirtualDay) { // huge, +Inf or NaN
+		return 0
+	}
+	return int(int64(v) % int64(len(q.buckets)))
+}
+
+// insert places ev in its bucket in (at, seq) order, without any
+// bookkeeping (shared by push and resize rehashing).
+func (q *calQueue) insert(ev *event) {
+	i := q.indexOf(ev.at)
+	head := q.buckets[i]
+	if head == nil {
+		ev.next = nil
+		q.buckets[i], q.tails[i] = ev, ev
+		return
+	}
+	if tail := q.tails[i]; !evless(ev, tail) {
+		ev.next = nil
+		tail.next = ev
+		q.tails[i] = ev
+		return
+	}
+	if evless(ev, head) {
+		ev.next = head
+		q.buckets[i] = ev
+		return
+	}
+	for head.next != nil && !evless(ev, head.next) {
+		head = head.next
+	}
+	ev.next = head.next
+	head.next = ev
+}
+
+func (q *calQueue) push(ev *event) {
+	q.insert(ev)
+	q.n++
+	if q.n > q.growAt {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+func (q *calQueue) pop() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for range q.buckets {
+		if h := q.buckets[q.cur]; h != nil && h.at < q.top {
+			return q.take(q.cur, h)
+		}
+		q.cur++
+		if q.cur == len(q.buckets) {
+			q.cur = 0
+		}
+		q.top += q.width
+	}
+	// A full year with nothing due: jump the scan straight to the
+	// earliest bucket head (the global minimum, since lists are sorted).
+	var min *event
+	minIdx := 0
+	for i, h := range q.buckets {
+		if h != nil && (min == nil || evless(h, min)) {
+			min, minIdx = h, i
+		}
+	}
+	q.cur = minIdx
+	if day := min.at / q.width; day < maxVirtualDay {
+		q.top = (math.Floor(day) + 1) * q.width
+	} else {
+		q.top = math.Inf(1)
+	}
+	return q.take(minIdx, min)
+}
+
+func (q *calQueue) take(i int, head *event) *event {
+	q.buckets[i] = head.next
+	if head.next == nil {
+		q.tails[i] = nil
+	}
+	head.next = nil
+	q.n--
+	if q.n < q.shrinkAt {
+		q.resize(len(q.buckets) / 2)
+	}
+	return head
+}
+
+// resize rebuilds the bucket array around the live population: it
+// purges canceled entries, re-estimates the day width from a sample of
+// pending timestamps, and rehashes. The scan restarts at the earliest
+// pending event, which preserves dequeue correctness.
+func (q *calQueue) resize(nbuckets int) {
+	if nbuckets < 2 {
+		nbuckets = 2
+	}
+	if nbuckets == len(q.buckets) {
+		return
+	}
+	if q.stats != nil {
+		q.stats.Resizes++
+	}
+	var live []*event
+	start := math.Inf(1)
+	for _, b := range q.buckets {
+		for b != nil {
+			next := b.next
+			b.next = nil
+			if b.canceled {
+				if q.stats != nil {
+					q.stats.Purged++
+				}
+				if q.free != nil {
+					q.free(b)
+				}
+			} else {
+				live = append(live, b)
+				if b.at < start {
+					start = b.at
+				}
+			}
+			b = next
+		}
+	}
+	if len(live) == 0 {
+		start = 0
+	}
+	q.reinit(nbuckets, q.estimateWidth(live), start)
+	for _, ev := range live {
+		q.insert(ev)
+	}
+	q.n = len(live)
+}
+
+// estimateWidth picks the day length as ~3x the mean separation of a
+// deterministic sample of pending timestamps (Brown's rule of thumb),
+// so a day holds a handful of events.
+func (q *calQueue) estimateWidth(live []*event) float64 {
+	const sampleMax = 32
+	step := len(live)/sampleMax + 1
+	ts := make([]float64, 0, sampleMax)
+	for i := 0; i < len(live); i += step {
+		if at := live[i].at; !math.IsInf(at, 0) && !math.IsNaN(at) {
+			ts = append(ts, at)
+		}
+	}
+	if len(ts) < 2 {
+		return q.width
+	}
+	sort.Float64s(ts)
+	sep := (ts[len(ts)-1] - ts[0]) / float64(len(ts)-1)
+	width := 3 * sep
+	if !(width > 0) || math.IsInf(width, 0) {
+		return q.width
+	}
+	return width
+}

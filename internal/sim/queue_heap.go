@@ -1,0 +1,77 @@
+package sim
+
+// evqueue is the event-queue contract shared by the calendar queue and
+// the reference binary heap: a strict priority queue over (at, seq).
+// Entries are popped in exactly that total order; canceled entries stay
+// queued until popped (or purged by a calendar resize) and are skipped
+// by the scheduler.
+type evqueue interface {
+	push(*event)
+	pop() *event // minimum (at, seq), or nil when empty
+	len() int
+}
+
+// evless orders events by time, then by issue sequence — the
+// determinism contract of the simulator.
+func evless(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapQueue is the seed scheduler's binary-heap event queue, kept as
+// the ordering oracle for calendar-queue equivalence tests (and
+// selectable via Options.HeapQueue).
+type heapQueue struct {
+	evs []*event
+}
+
+func (q *heapQueue) len() int { return len(q.evs) }
+
+func (q *heapQueue) push(ev *event) {
+	q.evs = append(q.evs, ev)
+	// Sift up.
+	i := len(q.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evless(q.evs[i], q.evs[parent]) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		i = parent
+	}
+}
+
+func (q *heapQueue) pop() *event {
+	n := len(q.evs)
+	if n == 0 {
+		return nil
+	}
+	min := q.evs[0]
+	last := q.evs[n-1]
+	q.evs[n-1] = nil
+	q.evs = q.evs[:n-1]
+	if n > 1 {
+		q.evs[0] = last
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(q.evs) && evless(q.evs[l], q.evs[smallest]) {
+				smallest = l
+			}
+			if r < len(q.evs) && evless(q.evs[r], q.evs[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			q.evs[i], q.evs[smallest] = q.evs[smallest], q.evs[i]
+			i = smallest
+		}
+	}
+	min.next = nil
+	return min
+}
