@@ -33,6 +33,15 @@ func (q *Queue) popItem() any {
 	q.head++
 	if q.head == len(q.items) {
 		q.items, q.head = q.items[:0], 0
+	} else if q.head > len(q.items)/2 {
+		// Compact once the dead prefix dominates: a queue that always
+		// keeps a backlog must not grow its backing array with total
+		// Puts ever made (standard deque compaction, amortized O(1)).
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items, q.head = q.items[:n], 0
 	}
 	return v
 }
@@ -46,6 +55,12 @@ func (q *Queue) takeWaiter() (qwaiter, bool) {
 	q.whead++
 	if q.whead == len(q.waiters) {
 		q.waiters, q.whead = q.waiters[:0], 0
+	} else if q.whead > len(q.waiters)/2 {
+		n := copy(q.waiters, q.waiters[q.whead:])
+		for i := n; i < len(q.waiters); i++ {
+			q.waiters[i] = qwaiter{}
+		}
+		q.waiters, q.whead = q.waiters[:n], 0
 	}
 	return w, true
 }
@@ -157,6 +172,12 @@ func (r *Resource) dropFrontWaiter() {
 	r.whead++
 	if r.whead == len(r.waiters) {
 		r.waiters, r.whead = r.waiters[:0], 0
+	} else if r.whead > len(r.waiters)/2 {
+		n := copy(r.waiters, r.waiters[r.whead:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = nil
+		}
+		r.waiters, r.whead = r.waiters[:n], 0
 	}
 }
 

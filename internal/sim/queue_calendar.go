@@ -28,6 +28,7 @@ type calQueue struct {
 	n     int     // queued entries (including canceled-but-unpurged)
 	cur   int     // bucket the scan is on
 	top   float64 // upper time edge of the current day
+	now   float64 // timestamp of the last popped event (queue's virtual clock)
 
 	growAt, shrinkAt int
 
@@ -52,8 +53,7 @@ func (q *calQueue) reinit(nbuckets int, width, start float64) {
 	q.width = width
 	q.growAt = 2 * nbuckets
 	q.shrinkAt = nbuckets/2 - 2
-	q.cur = q.indexOf(start)
-	q.top = (math.Floor(start/width) + 1) * width
+	q.setScan(start)
 }
 
 func (q *calQueue) len() int { return q.n }
@@ -97,14 +97,38 @@ func (q *calQueue) insert(ev *event) {
 func (q *calQueue) push(ev *event) {
 	q.insert(ev)
 	q.n++
+	if ev.at < q.top-q.width {
+		// The event lands in a day before the scan position — possible
+		// after a resize or a horizon pushback left the scan at a
+		// far-future day. Rewind the scan to the event's day so the
+		// rotation cannot bypass it and pop out of (at, seq) order.
+		q.setScan(ev.at)
+	}
 	if q.n > q.growAt {
 		q.resize(2 * len(q.buckets))
+	}
+}
+
+// setScan positions the rotation on the day containing time t.
+func (q *calQueue) setScan(t float64) {
+	q.cur = q.indexOf(t)
+	if day := t / q.width; day < maxVirtualDay {
+		q.top = (math.Floor(day) + 1) * q.width
+	} else {
+		q.top = math.Inf(1)
 	}
 }
 
 func (q *calQueue) pop() *event {
 	if q.n == 0 {
 		return nil
+	}
+	if math.IsInf(q.top, 1) {
+		// Timestamps beyond the finite-day range: a bucket rotation can
+		// no longer bound the next event's day, so the first non-empty
+		// bucket is not necessarily the minimum. Search directly instead
+		// of trusting the scan.
+		return q.popMin()
 	}
 	for range q.buckets {
 		if h := q.buckets[q.cur]; h != nil && h.at < q.top {
@@ -117,7 +141,14 @@ func (q *calQueue) pop() *event {
 		q.top += q.width
 	}
 	// A full year with nothing due: jump the scan straight to the
-	// earliest bucket head (the global minimum, since lists are sorted).
+	// global minimum.
+	return q.popMin()
+}
+
+// popMin finds and removes the global minimum by scanning every bucket
+// head (lists are sorted, so heads suffice), repositioning the rotation
+// on its day.
+func (q *calQueue) popMin() *event {
 	var min *event
 	minIdx := 0
 	for i, h := range q.buckets {
@@ -125,16 +156,14 @@ func (q *calQueue) pop() *event {
 			min, minIdx = h, i
 		}
 	}
-	q.cur = minIdx
-	if day := min.at / q.width; day < maxVirtualDay {
-		q.top = (math.Floor(day) + 1) * q.width
-	} else {
-		q.top = math.Inf(1)
-	}
+	q.setScan(min.at) // indexOf(min.at) == minIdx: that's where it was inserted
 	return q.take(minIdx, min)
 }
 
 func (q *calQueue) take(i int, head *event) *event {
+	if head.at > q.now {
+		q.now = head.at
+	}
 	q.buckets[i] = head.next
 	if head.next == nil {
 		q.tails[i] = nil
@@ -149,8 +178,11 @@ func (q *calQueue) take(i int, head *event) *event {
 
 // resize rebuilds the bucket array around the live population: it
 // purges canceled entries, re-estimates the day width from a sample of
-// pending timestamps, and rehashes. The scan restarts at the earliest
-// pending event, which preserves dequeue correctness.
+// pending timestamps, and rehashes. The scan restarts at
+// min(lastPopped, earliest pending) — the earliest pending event alone
+// is not safe, because it can sit days past the current virtual time,
+// and an event scheduled after the resize at an in-between time would
+// hash behind the scan and pop out of order.
 func (q *calQueue) resize(nbuckets int) {
 	if nbuckets < 2 {
 		nbuckets = 2
@@ -183,8 +215,8 @@ func (q *calQueue) resize(nbuckets int) {
 			b = next
 		}
 	}
-	if len(live) == 0 {
-		start = 0
+	if start > q.now {
+		start = q.now // covers len(live) == 0 too: start is +Inf then
 	}
 	q.reinit(nbuckets, q.estimateWidth(live), start)
 	for _, ev := range live {

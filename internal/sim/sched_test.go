@@ -81,6 +81,68 @@ func TestCalendarExtremeTimestamps(t *testing.T) {
 	}
 }
 
+// TestCalendarScanRewindAfterResize is the regression for the
+// shrink-resize ordering bug: draining a burst of near-time events with
+// one far-future timer pending shrinks the calendar and used to park
+// the scan on the far timer's day; a short timer scheduled from the
+// last near-time event then hashed behind the scan and fired AFTER the
+// far-future event, running virtual time backward.
+func TestCalendarScanRewindAfterResize(t *testing.T) {
+	for _, opt := range []Options{{}, {HeapQueue: true}} {
+		env := NewEnvWith(opt)
+		var order []float64
+		record := func() { order = append(order, env.Now()) }
+		for i := 0; i < 64; i++ {
+			if i == 63 {
+				env.At(float64(i), func() {
+					record()
+					// By now the drain has shrink-resized the calendar with
+					// only the t=100000 timer pending; this short timer must
+					// still fire before it.
+					env.After(1, record)
+				})
+			} else {
+				env.At(float64(i), record)
+			}
+		}
+		env.At(100000, record)
+		env.Run()
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Fatalf("opt %+v: virtual time ran backward: t=%v fired after t=%v",
+					opt, order[i], order[i-1])
+			}
+		}
+		if len(order) != 66 || order[len(order)-1] != 100000 {
+			t.Fatalf("opt %+v: got %d events ending at %v, want 66 ending at 100000",
+				opt, len(order), order[len(order)-1])
+		}
+	}
+}
+
+// TestCalendarHugeThenNormalOrder: after popping a timestamp too large
+// for a finite day window, the scan cannot bound the next minimum; a
+// normal-range event pushed into a different bucket must still pop
+// before a larger huge one (direct-min fallback + scan rewind).
+func TestCalendarHugeThenNormalOrder(t *testing.T) {
+	q := newCalQueue(&Stats{})
+	q.push(&event{at: 1e300, seq: 1})
+	q.push(&event{at: 1e301, seq: 2})
+	if ev := q.pop(); ev.at != 1e300 {
+		t.Fatalf("first pop = %v, want 1e300", ev.at)
+	}
+	q.push(&event{at: 5, seq: 3}) // hashes to a bucket the stale scan skips
+	if ev := q.pop(); ev.at != 5 {
+		t.Fatalf("second pop = %v, want 5 (huge event popped ahead of it)", ev.at)
+	}
+	if ev := q.pop(); ev.at != 1e301 {
+		t.Fatalf("third pop = %v, want 1e301", ev.at)
+	}
+	if q.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
 // TestTimerAtAfterStop covers the fast-path timer API: firing order,
 // After clamping, and Stop semantics (including double-stop and
 // stop-after-fire, which must not cancel a recycled pool record).
@@ -262,6 +324,61 @@ func TestStopReclaimsGoroutines(t *testing.T) {
 	}
 	if n := runtime.NumGoroutine(); n > baseline+2 {
 		t.Fatalf("goroutines grew from %d to %d across 100 stopped environments", baseline, n)
+	}
+}
+
+// TestStopUnwindsGoSpawnedDuringStop: a deferred function in an
+// unwinding process may call Env.Go; Stop must unwind that late
+// arrival too instead of leaving its goroutine parked forever.
+func TestStopUnwindsGoSpawnedDuringStop(t *testing.T) {
+	env := NewEnv()
+	env.Go("parent", func(p *Proc) {
+		defer env.Go("late-child", func(c *Proc) { c.Sleep(1) })
+		p.Sleep(1e12)
+	})
+	env.RunUntil(1)
+	env.Stop()
+	if n := env.Live(); n != 0 {
+		t.Fatalf("%d process(es) alive after Stop; late-spawned proc leaked", n)
+	}
+}
+
+// TestRingsCompactUnderBacklog: a ring that always keeps a backlog must
+// not grow its backing array with total traffic (the dead prefix is
+// compacted away), or long-running simulations leak memory.
+func TestRingsCompactUnderBacklog(t *testing.T) {
+	env := NewEnv()
+	const churn = 100000
+
+	q := NewQueue(env)
+	for i := 0; i < 10; i++ {
+		q.Put(i) // permanent backlog: the queue never fully drains
+	}
+	for i := 0; i < churn; i++ {
+		q.Put(i)
+		q.TryGet()
+	}
+	if c := cap(q.items); c > 1024 {
+		t.Fatalf("items backing array grew to %d for a 10-item backlog", c)
+	}
+
+	q.waiters = append(q.waiters, qwaiter{fn: func(any) {}})
+	for i := 0; i < churn; i++ {
+		q.waiters = append(q.waiters, qwaiter{fn: func(any) {}})
+		q.takeWaiter()
+	}
+	if c := cap(q.waiters); c > 1024 {
+		t.Fatalf("waiters backing array grew to %d for a 1-waiter backlog", c)
+	}
+
+	r := NewResource(env, 1)
+	r.waiters = append(r.waiters, &waiter{n: 1})
+	for i := 0; i < churn; i++ {
+		r.waiters = append(r.waiters, &waiter{n: 1})
+		r.dropFrontWaiter()
+	}
+	if c := cap(r.waiters); c > 1024 {
+		t.Fatalf("resource waiters backing array grew to %d for a 1-waiter backlog", c)
 	}
 }
 

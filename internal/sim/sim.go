@@ -264,9 +264,10 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 }
 
 // registerProc records p for Stop, compacting finished entries when
-// they dominate the registry.
+// they dominate the registry. Compaction is suppressed while Stop is
+// iterating e.all by index — shifting entries would skip live procs.
 func (e *Env) registerProc(p *Proc) {
-	if len(e.all) >= 1024 && len(e.all) >= 2*e.procs {
+	if !e.stopping && len(e.all) >= 1024 && len(e.all) >= 2*e.procs {
 		live := e.all[:0]
 		for _, q := range e.all {
 			if !q.dead {
@@ -348,7 +349,11 @@ func (e *Env) Stop() {
 		panic("sim: Stop called from inside Run")
 	}
 	e.stopping = true
-	for _, p := range e.all {
+	// Index loop, not range: a deferred function in an unwinding process
+	// may call Go, appending to e.all — those late arrivals must be
+	// unwound too or their goroutines park on <-p.wake forever.
+	for i := 0; i < len(e.all); i++ {
+		p := e.all[i]
 		if p.dead {
 			continue
 		}
