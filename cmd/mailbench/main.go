@@ -13,6 +13,7 @@
 //	mailbench -counts 1,100,10000   # explicit client counts instead of 1..N
 //	mailbench -workers 4        # scenario-sweep parallelism (default GOMAXPROCS)
 //	mailbench -simstats         # print simulator scheduler counters
+//	mailbench -trace DS500      # span tree + per-stage breakdown of one scenario
 //
 // Scenario runs fan out over a bounded worker pool; output is
 // byte-identical for every -workers value (each scenario is its own
@@ -31,6 +32,7 @@ import (
 
 	"partsvc/internal/bench"
 	"partsvc/internal/metrics"
+	"partsvc/internal/trace"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 	procs := flag.Bool("procs", false, "use the goroutine-process simulation engine (slow path)")
 	simstats := flag.Bool("simstats", false, "print simulator scheduler counters after the run")
+	traceSc := flag.String("trace", "", "trace one scenario: print its span tree and per-stage latency breakdown")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -84,11 +87,21 @@ func main() {
 		}
 		fmt.Println("Planner scaling on Waxman topologies (ablation A3):")
 		fmt.Print(bench.ScalingTable(rows))
+	case *traceSc != "":
+		if *sends == 0 {
+			cfg.SendsPerClient = 5 // keep the printed span tree readable
+		}
+		if err := runTraced(cfg, *traceSc); err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Printf("Figure 7: average client-perceived send latency (ms), %d sends/client:\n",
 			cfg.SendsPerClient)
-		fmt.Print(bench.Fig7Table(bench.RunFig7(cfg)))
+		rows, all := bench.RunFig7Stats(cfg)
+		fmt.Print(bench.Fig7Table(rows))
 		fmt.Println("\nGroups (paper): 1 = {SF,SS0,DF,DS0}  2 = {SS1000,DS1000}  3 = {SS500,DS500}  4 = {SS}")
+		fmt.Printf("Grid: %s\n", all.Summary())
 	}
 	if *simstats {
 		elapsed := time.Since(start)
@@ -97,6 +110,29 @@ func main() {
 			events, callbacks, switches, elapsed.Round(time.Millisecond),
 			metrics.PerSec(events, elapsed), bench.Workers(cfg.Workers))
 	}
+}
+
+// runTraced traces one scenario at two clients on the virtual clock
+// and prints the per-stage latency breakdown (EXPERIMENTS.md A6) plus
+// the full span tree — byte-identical on every run.
+func runTraced(cfg bench.Config, name string) error {
+	var sc bench.Scenario
+	found := false
+	for _, s := range bench.Scenarios() {
+		if s.Name == name {
+			sc, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown scenario %q (see Scenarios in the Figure 7 table)", name)
+	}
+	row, spans := bench.RunScenarioTraced(cfg, sc, 2)
+	fmt.Printf("Traced scenario %s: %d clients, %d sends/client, avg %.2f ms (%d spans, virtual clock):\n",
+		row.Scenario, row.Clients, cfg.SendsPerClient, row.AvgMS, len(spans))
+	fmt.Print(bench.SpanBreakdown(spans))
+	fmt.Println()
+	fmt.Print(trace.Tree(spans))
+	return nil
 }
 
 // parseCounts parses "1,100,10000" into client counts.

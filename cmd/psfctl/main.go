@@ -11,6 +11,8 @@
 //	psfctl plan -case-study           # reproduce the Figure 6 plans
 //	psfctl plan -node sd-2 -user Alice [-rate 50] [-objective min-latency]
 //	psfctl rpc [-callers 64] [-d 2s]  # loopback data-plane throughput probe
+//	psfctl stats [-http :8080]        # unified metrics registry across subsystems
+//	psfctl trace [-sim]               # end-to-end trace of one mail send
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"partsvc/internal/metrics"
 	"partsvc/internal/netmodel"
 	"partsvc/internal/planner"
 	"partsvc/internal/spec"
@@ -45,6 +48,10 @@ func main() {
 		err = runPlan(os.Args[2:])
 	case "rpc":
 		err = runRPC(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -56,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc|stats|trace> [flags]")
 }
 
 // loadSpec reads a spec from -f, defaulting to the built-in mail spec.
@@ -157,6 +164,8 @@ func runPlan(args []string) error {
 		return err
 	}
 	pl.AddExisting(ms)
+	reg := metrics.NewRegistry()
+	pl.RegisterMetrics(reg, "planner")
 
 	var obj planner.Objective
 	switch *objective {
@@ -186,15 +195,7 @@ func runPlan(args []string) error {
 		fmt.Printf("  deployment: %s\n", dep)
 		fmt.Printf("  expected latency %.2f ms, capacity %.0f req/s, %d new component(s)\n",
 			dep.ExpectedLatencyMS, dep.CapacityRPS, dep.NewComponents)
-		st := pl.Stats()
-		fmt.Printf("  search: %d chains, %d mappings (rejected: cond %d, props %d, load %d, path %d)\n",
-			st.ChainsEnumerated, st.MappingsTried,
-			st.RejectedConditions, st.RejectedProps, st.RejectedLoad, st.RejectedNoPath)
-		if lookups := st.RouteCacheHits + st.RouteCacheMisses; lookups > 0 {
-			fmt.Printf("  route cache: %d hits, %d misses (%.1f%% hit rate)\n",
-				st.RouteCacheHits, st.RouteCacheMisses,
-				100*float64(st.RouteCacheHits)/float64(lookups))
-		}
+		fmt.Print(reg.Render())
 		pl.AddExisting(dep.Placements...)
 		return nil
 	}

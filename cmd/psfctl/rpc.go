@@ -87,15 +87,9 @@ func runRPC(args []string) error {
 		n, float64(n)/elapsed.Seconds(),
 		float64(elapsed.Microseconds())/float64(max(n, 1)))
 
-	st := tr.Stats()
-	tab := metrics.NewTable("counter", "value")
-	tab.AddRow("in_flight", st.InFlight)
-	tab.AddRow("frames_sent", st.FramesSent)
-	tab.AddRow("frames_received", st.FramesReceived)
-	tab.AddRow("bytes_sent", st.BytesSent)
-	tab.AddRow("bytes_received", st.BytesReceived)
-	tab.AddRow("decode_errors", st.DecodeErrors)
-	tab.AddRow("pool_hit_rate", fmt.Sprintf("%.1f%%", 100*st.PoolHitRate()))
-	fmt.Print(tab.String())
+	reg := metrics.NewRegistry()
+	reg.RegisterSection("transport", func() []metrics.KV { return tr.Stats().KVs() })
+	registerPoolSection(reg)
+	fmt.Print(reg.Render())
 	return nil
 }

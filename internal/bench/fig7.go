@@ -6,6 +6,7 @@ import (
 	"partsvc/internal/coherence"
 	"partsvc/internal/metrics"
 	"partsvc/internal/sim"
+	"partsvc/internal/trace"
 )
 
 // Row is one Figure 7 data point: the average client-perceived send
@@ -25,13 +26,27 @@ type Row struct {
 // pool (Config.Workers, default GOMAXPROCS); rows appear scenario-major
 // in Scenarios() order and are byte-identical to a serial run.
 func RunFig7(cfg Config) []Row {
+	rows, _ := RunFig7Stats(cfg)
+	return rows
+}
+
+// RunFig7Stats is RunFig7 plus a merged recorder holding every send
+// latency in the grid: each parallel worker records into its own
+// per-scenario shard and the shards merge in row order afterwards, so
+// the combined quantiles are identical at any worker count.
+func RunFig7Stats(cfg Config) ([]Row, *metrics.Recorder) {
 	scs := Scenarios()
 	counts := cfg.clientCounts()
 	rows := make([]Row, len(scs)*len(counts))
+	recs := make([]*metrics.Recorder, len(rows))
 	forEach(cfg.Workers, len(rows), func(i int) {
-		rows[i] = RunScenario(cfg, scs[i/len(counts)], counts[i%len(counts)])
+		rows[i], recs[i], _ = runScenario(cfg, scs[i/len(counts)], counts[i%len(counts)], 0)
 	})
-	return rows
+	merged := &metrics.Recorder{}
+	for _, rec := range recs {
+		merged.Merge(rec)
+	}
+	return rows, merged
 }
 
 // simStats aggregates scheduler counters across every scenario run in
@@ -53,12 +68,27 @@ func SimCounters() (events, callbackEvents, procSwitches int64) {
 // yields bit-identical rows under either engine, either event queue,
 // and any sweep parallelism.
 func RunScenario(cfg Config, sc Scenario, clients int) Row {
+	row, _, _ := runScenario(cfg, sc, clients, 0)
+	return row
+}
+
+// runScenario is the shared scenario engine. traceCap > 0 attaches a
+// virtual-clock tracer (capacity traceCap) to the world and forces the
+// process engine — the callback engine produces identical rows but
+// emits no spans. Span timestamps read env.Now, so repeated runs of
+// the same Config produce byte-identical span trees.
+func runScenario(cfg Config, sc Scenario, clients, traceCap int) (Row, *metrics.Recorder, *trace.Tracer) {
 	env := sim.NewEnvWith(sim.Options{
 		Seed:      scenarioSeed(cfg.Seed, sc.Name, clients),
 		HeapQueue: cfg.HeapQueue,
 	})
 	defer env.Stop()
-	w := &scenarioWorld{cfg: cfg, sc: sc, env: env}
+	var tr *trace.Tracer
+	if traceCap > 0 {
+		tr = trace.NewTracer(traceCap, env.Now)
+		cfg.Procs = true
+	}
+	w := &scenarioWorld{cfg: cfg, sc: sc, env: env, tr: tr}
 	w.build()
 	rec := &metrics.Recorder{}
 	w.active = clients
@@ -110,7 +140,7 @@ func RunScenario(cfg Config, sc Scenario, clients int) Row {
 		P95MS:    rec.Percentile(95),
 		MaxMS:    rec.Max(),
 		Sends:    rec.Count(),
-	}
+	}, rec, tr
 }
 
 // scenarioWorld holds the simulated deployment for one scenario: links,
@@ -136,6 +166,20 @@ type scenarioWorld struct {
 	// active counts clients still running (lets the background flusher
 	// terminate).
 	active int
+	// tr, when non-nil, records virtual-clock spans for every stage of
+	// the process engine's send path (the callback engine stays
+	// untraced).
+	tr *trace.Tracer
+}
+
+// span starts a virtual-clock span when the world is traced (nil
+// otherwise; nil spans are no-ops everywhere, so the untraced path
+// costs one pointer compare per stage).
+func (w *scenarioWorld) span(parent trace.SpanContext, name string) *trace.Span {
+	if w.tr == nil {
+		return nil
+	}
+	return w.tr.StartSpan(parent, name)
 }
 
 // flush propagates the replica's pending updates across the slow link
@@ -144,14 +188,29 @@ func (w *scenarioWorld) flush(p *sim.Proc) {
 	w.view.Lock(p)
 	batch := w.replica.TakePending(p.Now())
 	if len(batch) > 0 {
-		p.Sleep(2 * w.cfg.CryptoServiceMS)
-		w.slowUp.Transfer(p, len(batch)*w.cfg.RecordBytes)
-		w.server.Acquire(p, 1)
-		p.Sleep(w.cfg.ServerServiceMS)
-		w.server.Release(1)
-		w.slowDown.Transfer(p, w.cfg.ReplyBytes)
+		w.flushBatch(p, trace.SpanContext{}, len(batch))
 	}
 	w.view.Unlock()
+}
+
+// flushBatch models the flush RPC chain — encryptor tunnel, slow-link
+// transfer, primary processing, acknowledgement — under a
+// "coherence.flush" span mirroring the real transport's span names.
+func (w *scenarioWorld) flushBatch(p *sim.Proc, parent trace.SpanContext, updates int) {
+	fl := w.span(parent, "coherence.flush")
+	tun := w.span(fl.Context(), "tunnel.call")
+	p.Sleep(2 * w.cfg.CryptoServiceMS)
+	tun.End()
+	tc := w.span(fl.Context(), "transport.call")
+	w.slowUp.Transfer(p, updates*w.cfg.RecordBytes)
+	ms := w.span(tc.Context(), "mail.send")
+	w.server.Acquire(p, 1)
+	p.Sleep(w.cfg.ServerServiceMS)
+	w.server.Release(1)
+	ms.End()
+	w.slowDown.Transfer(p, w.cfg.ReplyBytes)
+	tc.End()
+	fl.End()
 }
 
 func (w *scenarioWorld) build() {
@@ -178,7 +237,9 @@ func (w *scenarioWorld) runClient(p *sim.Proc, rec *metrics.Recorder) {
 	receives := 0
 	for i := 1; i <= w.cfg.SendsPerClient; i++ {
 		start := p.Now()
-		w.send(p)
+		root := w.span(trace.SpanContext{}, "client.send")
+		w.send(p, root.Context())
+		root.End()
 		rec.Add(p.Now() - start)
 		if w.cfg.ReceiveEvery > 0 && i%w.cfg.ReceiveEvery == 0 {
 			receives++
@@ -188,10 +249,15 @@ func (w *scenarioWorld) runClient(p *sim.Proc, rec *metrics.Recorder) {
 }
 
 // send models one message send through the scenario's deployment.
-func (w *scenarioWorld) send(p *sim.Proc) {
+// Span names mirror the real transports' spans so one SpanBreakdown
+// works over simulated and wall-clock traces alike.
+func (w *scenarioWorld) send(p *sim.Proc, parent trace.SpanContext) {
 	cfg := w.cfg
 	p.Sleep(cfg.ClientServiceMS)
 	if w.sc.Dynamic {
+		px := w.span(parent, "proxy.send")
+		defer px.End()
+		parent = px.Context()
 		p.Sleep(cfg.ProxyOverheadMS)
 	}
 	switch {
@@ -201,6 +267,7 @@ func (w *scenarioWorld) send(p *sim.Proc) {
 		// synchronous flush across the slow link while the view is
 		// locked.
 		w.view.Lock(p)
+		vs := w.span(parent, "view.send")
 		p.Sleep(cfg.ViewServiceMS)
 		flush := false
 		for r := 0; r < cfg.RecordsPerSend; r++ {
@@ -210,34 +277,37 @@ func (w *scenarioWorld) send(p *sim.Proc) {
 		}
 		if flush {
 			batch := w.replica.TakePending(p.Now())
-			// Encryptor/Decryptor tunnel on the flush path.
-			p.Sleep(2 * cfg.CryptoServiceMS)
-			w.slowUp.Transfer(p, len(batch)*cfg.RecordBytes)
-			w.server.Acquire(p, 1)
-			p.Sleep(cfg.ServerServiceMS)
-			w.server.Release(1)
-			// Acknowledgement.
-			w.slowDown.Transfer(p, cfg.ReplyBytes)
+			w.flushBatch(p, vs.Context(), len(batch))
 		}
+		vs.End()
 		w.view.Unlock()
-		_ = flush
 	case w.sc.Slow:
 		// SS: the client talks straight to the distant MailServer,
 		// "unaware of the slow link", through the encryptor tunnel.
+		tun := w.span(parent, "tunnel.call")
 		p.Sleep(cfg.CryptoServiceMS)
+		tc := w.span(tun.Context(), "transport.call")
 		w.slowUp.Transfer(p, cfg.MessageBytes)
 		p.Sleep(cfg.CryptoServiceMS)
+		ms := w.span(tc.Context(), "mail.send")
 		w.server.Acquire(p, 1)
 		p.Sleep(cfg.ServerServiceMS)
 		w.server.Release(1)
+		ms.End()
 		w.slowDown.Transfer(p, cfg.ReplyBytes)
+		tc.End()
+		tun.End()
 	default:
 		// DF/SF: LAN client straight to the MailServer.
+		tc := w.span(parent, "transport.call")
 		w.lanUp.Transfer(p, cfg.MessageBytes)
+		ms := w.span(tc.Context(), "mail.send")
 		w.server.Acquire(p, 1)
 		p.Sleep(cfg.ServerServiceMS)
 		w.server.Release(1)
+		ms.End()
 		w.lanDown.Transfer(p, cfg.ReplyBytes)
+		tc.End()
 	}
 }
 

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"partsvc/internal/trace"
+)
+
+// TestTracedScenarioDeterministic is the acceptance check for
+// virtual-clock tracing: the same workload traced twice yields
+// byte-identical span trees with virtual timestamps, for every
+// scenario shape (fast LAN, slow link, cached view with flushes).
+func TestTracedScenarioDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendsPerClient = 10
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			row1, spans1 := RunScenarioTraced(cfg, sc, 3)
+			row2, spans2 := RunScenarioTraced(cfg, sc, 3)
+			if row1 != row2 {
+				t.Fatalf("rows differ across runs:\n%+v\n%+v", row1, row2)
+			}
+			tree1, tree2 := trace.Tree(spans1), trace.Tree(spans2)
+			if tree1 != tree2 {
+				t.Fatalf("span trees differ across identical runs:\n--- run 1:\n%s--- run 2:\n%s", tree1, tree2)
+			}
+			if len(spans1) == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			if !strings.Contains(tree1, "client.send") {
+				t.Fatalf("no client.send root in tree:\n%s", tree1)
+			}
+		})
+	}
+}
+
+// TestTracedRowMatchesUntraced: attaching the tracer must not change
+// the simulation — the traced run's row equals the plain RunScenario
+// row (which itself is engine-independent).
+func TestTracedRowMatchesUntraced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendsPerClient = 20
+	for _, name := range []string{"DF", "SS", "DS500"} {
+		var sc Scenario
+		for _, s := range Scenarios() {
+			if s.Name == name {
+				sc = s
+			}
+		}
+		plain := RunScenario(cfg, sc, 4)
+		traced, spans := RunScenarioTraced(cfg, sc, 4)
+		if plain != traced {
+			t.Errorf("%s: traced row %+v != untraced row %+v", name, traced, plain)
+		}
+		if len(spans) == 0 {
+			t.Errorf("%s: no spans", name)
+		}
+	}
+}
+
+// TestSpanBreakdownShape: the per-stage table covers every span name
+// with exact counts.
+func TestSpanBreakdownShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendsPerClient = 5
+	var ss Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "SS" {
+			ss = s
+		}
+	}
+	_, spans := RunScenarioTraced(cfg, ss, 2)
+	out := SpanBreakdown(spans)
+	for _, name := range []string{"client.send", "tunnel.call", "transport.call", "mail.send"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("breakdown missing %q:\n%s", name, out)
+		}
+	}
+	// client.send count = clients * sends.
+	if !strings.Contains(out, "10") {
+		t.Errorf("breakdown missing count 10:\n%s", out)
+	}
+}
+
+// TestRunFig7StatsMergedRecorder: the merged recorder aggregates every
+// send in the grid identically at any worker count.
+func TestRunFig7StatsMergedRecorder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SendsPerClient = 5
+	cfg.MaxClients = 2
+	cfg.Workers = 1
+	rows1, rec1 := RunFig7Stats(cfg)
+	cfg.Workers = 4
+	rows2, rec2 := RunFig7Stats(cfg)
+	for i := range rows1 {
+		if rows1[i] != rows2[i] {
+			t.Fatalf("row %d differs across worker counts", i)
+		}
+	}
+	if rec1.Count() != rec2.Count() {
+		t.Fatalf("merged counts differ: %d vs %d", rec1.Count(), rec2.Count())
+	}
+	total := 0
+	for _, r := range rows1 {
+		total += r.Sends
+	}
+	if rec1.Count() != total {
+		t.Fatalf("merged recorder holds %d samples, rows total %d", rec1.Count(), total)
+	}
+	for _, p := range []float64{50, 95, 100} {
+		if rec1.Percentile(p) != rec2.Percentile(p) {
+			t.Errorf("p%g differs across worker counts: %g vs %g", p, rec1.Percentile(p), rec2.Percentile(p))
+		}
+	}
+}

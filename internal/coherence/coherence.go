@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Update is one logged write awaiting propagation between replicas.
@@ -266,6 +267,31 @@ type Directory struct {
 	// log retains all updates per view in arrival order so that newly
 	// registered replicas can catch up.
 	log map[string][]Update
+
+	// Fan-out counters (atomic; read by DirectoryStats).
+	publishes        atomic.Uint64
+	updatesPublished atomic.Uint64
+	replicasUpdated  atomic.Uint64
+}
+
+// DirectoryStats is a point-in-time copy of a directory's fan-out
+// counters for the metrics registry.
+type DirectoryStats struct {
+	// Publishes counts Publish calls with a non-empty batch.
+	Publishes uint64
+	// UpdatesPublished counts individual updates fanned out.
+	UpdatesPublished uint64
+	// ReplicasUpdated counts replica applications across all publishes.
+	ReplicasUpdated uint64
+}
+
+// Stats returns the directory's fan-out counters.
+func (d *Directory) Stats() DirectoryStats {
+	return DirectoryStats{
+		Publishes:        d.publishes.Load(),
+		UpdatesPublished: d.updatesPublished.Load(),
+		ReplicasUpdated:  d.replicasUpdated.Load(),
+	}
 }
 
 // NewDirectory returns an empty directory.
@@ -330,6 +356,9 @@ func (d *Directory) Publish(view string, batch []Update) int {
 			n++
 		}
 	}
+	d.publishes.Add(1)
+	d.updatesPublished.Add(uint64(len(batch)))
+	d.replicasUpdated.Add(uint64(n))
 	return n
 }
 

@@ -1,6 +1,7 @@
 package mail
 
 import (
+	"context"
 	"fmt"
 
 	"partsvc/internal/seccrypto"
@@ -30,10 +31,21 @@ func (c *Client) Send(to, subject string, body []byte, sensitivity int) (uint64,
 	return c.api.Send(c.user, to, subject, body, sensitivity)
 }
 
+// SendCtx is Send continuing the trace in ctx — the entry point tools
+// use to root a trace at the client.
+func (c *Client) SendCtx(ctx context.Context, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	return SendCtx(ctx, c.api, c.user, to, subject, body, sensitivity)
+}
+
 // Receive fetches the inbox and decrypts every body with the user's
 // keys.
 func (c *Client) Receive() ([]*Message, error) {
-	msgs, err := c.api.Receive(c.user)
+	return c.ReceiveCtx(context.Background())
+}
+
+// ReceiveCtx is Receive continuing the trace in ctx.
+func (c *Client) ReceiveCtx(ctx context.Context) ([]*Message, error) {
+	msgs, err := ReceiveCtx(ctx, c.api, c.user)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package mail
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"partsvc/internal/coherence"
+	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 	"partsvc/internal/wire"
 )
@@ -14,10 +16,15 @@ import (
 // payloads use the wire value encoding, so the same bits flow over the
 // in-process transport, TCP, and the encryptor tunnel.
 
-// NewHandler serves an Upstream as a transport.Handler.
+// NewHandler serves an Upstream as a transport.Handler. Each request
+// runs under a "mail.<method>" span continuing whatever trace context
+// rode in on the message (stamped by the transport's serve span).
 func NewHandler(api Upstream) transport.Handler {
 	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
-		reply, err := dispatch(api, m)
+		ctx, span := trace.StartRemote(context.Background(),
+			trace.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}, "mail."+m.Method)
+		reply, err := dispatch(ctx, api, m)
+		span.End()
 		if err != nil {
 			return transport.ErrorResponse(m, "%v", err)
 		}
@@ -29,7 +36,7 @@ func NewHandler(api Upstream) transport.Handler {
 	})
 }
 
-func dispatch(api Upstream, m *wire.Message) (map[string]any, error) {
+func dispatch(ctx context.Context, api Upstream, m *wire.Message) (map[string]any, error) {
 	args, err := decodeArgs(m.Body)
 	if err != nil {
 		return nil, err
@@ -41,10 +48,10 @@ func dispatch(api Upstream, m *wire.Message) (map[string]any, error) {
 	case "send":
 		body, _ := args["body"].([]byte)
 		sens, _ := args["sens"].(int64)
-		id, err := api.Send(str("from"), str("to"), str("subject"), body, int(sens))
+		id, err := SendCtx(ctx, api, str("from"), str("to"), str("subject"), body, int(sens))
 		return map[string]any{"id": int64(id)}, err
 	case "receive":
-		msgs, err := api.Receive(str("user"))
+		msgs, err := ReceiveCtx(ctx, api, str("user"))
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +86,7 @@ func dispatch(api Upstream, m *wire.Message) (map[string]any, error) {
 			}
 			batch = append(batch, u)
 		}
-		return map[string]any{}, api.PushUpdates(batch)
+		return map[string]any{}, PushUpdatesCtx(ctx, api, batch)
 	default:
 		return nil, fmt.Errorf("mail: unknown method %q", m.Method)
 	}
@@ -142,13 +149,18 @@ func NewRemote(ep transport.Endpoint) *Remote { return &Remote{ep: ep} }
 // Close releases the endpoint.
 func (r *Remote) Close() error { return r.ep.Close() }
 
-func (r *Remote) call(method string, args map[string]any) (map[string]any, error) {
+// call performs one proxied RPC under a "proxy.<method>" span (a new
+// root when ctx carries no trace), so the remote side's spans link
+// causally back to this stub.
+func (r *Remote) call(ctx context.Context, method string, args map[string]any) (map[string]any, error) {
 	body, err := wire.Marshal(args)
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, "proxy."+method)
 	id := r.id.Add(1)
-	resp, err := r.ep.Call(&wire.Message{Kind: wire.KindRequest, ID: id, Method: method, Body: body})
+	resp, err := transport.Call(ctx, r.ep, &wire.Message{Kind: wire.KindRequest, ID: id, Method: method, Body: body})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -160,13 +172,18 @@ func (r *Remote) call(method string, args map[string]any) (map[string]any, error
 
 // CreateAccount implements API.
 func (r *Remote) CreateAccount(user string) error {
-	_, err := r.call("createAccount", map[string]any{"user": user})
+	_, err := r.call(context.Background(), "createAccount", map[string]any{"user": user})
 	return err
 }
 
 // Send implements API.
 func (r *Remote) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
-	reply, err := r.call("send", map[string]any{
+	return r.SendCtx(context.Background(), from, to, subject, body, sensitivity)
+}
+
+// SendCtx is Send continuing the trace in ctx.
+func (r *Remote) SendCtx(ctx context.Context, from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	reply, err := r.call(ctx, "send", map[string]any{
 		"from": from, "to": to, "subject": subject, "body": body, "sens": int64(sensitivity),
 	})
 	if err != nil {
@@ -178,7 +195,12 @@ func (r *Remote) Send(from, to, subject string, body []byte, sensitivity int) (u
 
 // Receive implements API.
 func (r *Remote) Receive(user string) ([]*Message, error) {
-	reply, err := r.call("receive", map[string]any{"user": user})
+	return r.ReceiveCtx(context.Background(), user)
+}
+
+// ReceiveCtx is Receive continuing the trace in ctx.
+func (r *Remote) ReceiveCtx(ctx context.Context, user string) ([]*Message, error) {
+	reply, err := r.call(ctx, "receive", map[string]any{"user": user})
 	if err != nil {
 		return nil, err
 	}
@@ -200,13 +222,13 @@ func (r *Remote) Receive(user string) ([]*Message, error) {
 
 // AddContact implements API.
 func (r *Remote) AddContact(user, contact string) error {
-	_, err := r.call("addContact", map[string]any{"user": user, "contact": contact})
+	_, err := r.call(context.Background(), "addContact", map[string]any{"user": user, "contact": contact})
 	return err
 }
 
 // Contacts implements API.
 func (r *Remote) Contacts(user string) ([]string, error) {
-	reply, err := r.call("contacts", map[string]any{"user": user})
+	reply, err := r.call(context.Background(), "contacts", map[string]any{"user": user})
 	if err != nil {
 		return nil, err
 	}
@@ -224,10 +246,15 @@ func (r *Remote) Contacts(user string) ([]string, error) {
 
 // PushUpdates implements UpdateSink.
 func (r *Remote) PushUpdates(batch []coherence.Update) error {
+	return r.PushUpdatesCtx(context.Background(), batch)
+}
+
+// PushUpdatesCtx is PushUpdates continuing the trace in ctx.
+func (r *Remote) PushUpdatesCtx(ctx context.Context, batch []coherence.Update) error {
 	items := make([]any, len(batch))
 	for i, u := range batch {
 		items[i] = encodeUpdate(u)
 	}
-	_, err := r.call("pushUpdates", map[string]any{"batch": items})
+	_, err := r.call(ctx, "pushUpdates", map[string]any{"batch": items})
 	return err
 }

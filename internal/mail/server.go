@@ -1,10 +1,13 @@
 package mail
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"partsvc/internal/coherence"
 	"partsvc/internal/seccrypto"
+	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 	"partsvc/internal/wire"
 )
@@ -85,6 +88,12 @@ func (s *Server) CreateAccount(user string) error {
 // Send seals the body at the sender's sensitivity and files it into the
 // recipient's inbox and the sender's sent folder.
 func (s *Server) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	return s.SendCtx(context.Background(), from, to, subject, body, sensitivity)
+}
+
+// SendCtx is Send continuing the trace in ctx: the coherence fan-out it
+// triggers parents on the send's span.
+func (s *Server) SendCtx(ctx context.Context, from, to, subject string, body []byte, sensitivity int) (uint64, error) {
 	m, err := sealMessage(s.keys, s.store, from, to, subject, body, sensitivity, s.clock.NowMS())
 	if err != nil {
 		return 0, err
@@ -96,7 +105,7 @@ func (s *Server) Send(from, to, subject string, body []byte, sensitivity int) (u
 	if err != nil {
 		return 0, err
 	}
-	s.publish("send", m.To, data)
+	s.publishCtx(ctx, "send", m.To, data)
 	return m.ID, nil
 }
 
@@ -122,9 +131,21 @@ func (s *Server) Contacts(user string) ([]string, error) {
 
 // publish logs a primary write and fans it out to replicas immediately.
 func (s *Server) publish(op, key string, data []byte) {
+	s.publishCtx(context.Background(), op, key, data)
+}
+
+// publishCtx is publish under a "coherence.flush" span: the primary is
+// write-through, so every primary write is its own flush.
+func (s *Server) publishCtx(ctx context.Context, op, key string, data []byte) {
 	now := s.clock.NowMS()
 	s.replica.Write(op, key, data, now)
-	s.dir.Publish(ViewName, s.replica.TakePending(now))
+	batch := s.replica.TakePending(now)
+	_, span := trace.Start(ctx, "coherence.flush")
+	if span != nil {
+		span.SetAttr("updates", strconv.Itoa(len(batch)))
+	}
+	s.dir.Publish(ViewName, batch)
+	span.End()
 }
 
 // sealMessage validates a send and seals its body at the sender's

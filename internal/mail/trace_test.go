@@ -1,0 +1,128 @@
+package mail
+
+import (
+	"context"
+	"testing"
+
+	"partsvc/internal/coherence"
+	"partsvc/internal/seccrypto"
+	"partsvc/internal/trace"
+	"partsvc/internal/transport"
+)
+
+// TestEndToEndTraceOverTCP is the tentpole acceptance test: one traced
+// mail send through the full deployment — client -> view ->
+// write-through flush -> encryptor tunnel -> TCP -> decryptor ->
+// primary handler — produces ONE trace whose causally-linked spans
+// cover the proxy, transport, handler, and coherence layers.
+func TestEndToEndTraceOverTCP(t *testing.T) {
+	trace.SetEnabled(true)
+	defer trace.SetEnabled(false)
+	trace.Default.Reset()
+	defer trace.Default.Reset()
+
+	keys := seccrypto.NewKeyRing()
+	clock := transport.NewRealClock()
+	primary := NewServer(keys, clock)
+	for _, u := range []string{"Alice", "Bob"} {
+		if err := primary.CreateAccount(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key, err := NewChannelKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewTCP()
+	ln, err := tr.Serve("127.0.0.1:0", NewDecryptorHandler(NewHandler(primary), key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ep, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	view, err := NewView(ViewConfig{
+		ID: "trace-view", Trust: 4, Keys: keys.SubRing(4),
+		Upstream: NewRemote(NewEncryptorEndpoint(ep, key)),
+		Policy:   coherence.WriteThrough{}, Clock: clock,
+	}, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewClient("Alice", keys, view)
+
+	// Drop the CreateAccount warm-up traces so the assertion sees only
+	// the send.
+	trace.Default.Reset()
+	ctx, root := trace.Start(context.Background(), "client.send")
+	if _, err := alice.SendCtx(ctx, "Bob", "traced", []byte("hello"), 2); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := trace.Default.Spans()
+	byName := map[string]trace.Span{}
+	for _, s := range spans {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %q in trace %d, want single trace %d", s.Name, s.TraceID, root.TraceID)
+		}
+		byName[s.Name] = s
+	}
+	// One span each from the proxy, transport, handler, and coherence
+	// layers — at least four causally linked.
+	for _, name := range []string{
+		"coherence.flush", "proxy.pushUpdates", "tunnel.call",
+		"transport.call", "transport.serve", "tunnel.serve",
+		"mail.pushUpdates",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing span %q (got %d spans)", name, len(spans))
+		}
+	}
+	if t.Failed() {
+		t.Log("\n" + trace.Tree(spans))
+		return
+	}
+	// Spot-check the causal links. The encryptor stamps the INNER
+	// message, so the decryptor's span parents to tunnel.call (the last
+	// span that could see the sealed payload), while transport.serve
+	// parents to transport.call via the outer envelope.
+	for _, link := range [][2]string{
+		{"client.send", "coherence.flush"},
+		{"coherence.flush", "proxy.pushUpdates"},
+		{"proxy.pushUpdates", "tunnel.call"},
+		{"tunnel.call", "transport.call"},
+		{"transport.call", "transport.serve"},
+		{"tunnel.call", "tunnel.serve"},
+		{"tunnel.serve", "mail.pushUpdates"},
+	} {
+		parent, child := byName[link[0]], byName[link[1]]
+		if child.Parent != parent.SpanID {
+			t.Errorf("%s.Parent = %d, want %s (%d)", link[1], child.Parent, link[0], parent.SpanID)
+		}
+	}
+}
+
+// TestUntracedSendRecordsNothing: the same stack with tracing disabled
+// must not record spans — the default-off contract.
+func TestUntracedSendRecordsNothing(t *testing.T) {
+	trace.SetEnabled(false)
+	trace.Default.Reset()
+
+	keys := seccrypto.NewKeyRing()
+	clock := transport.NewRealClock()
+	primary := NewServer(keys, clock)
+	if err := primary.CreateAccount("Alice"); err != nil {
+		t.Fatal(err)
+	}
+	alice := NewClient("Alice", keys, primary)
+	if _, err := alice.Send("Alice", "quiet", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trace.Default.Spans()); got != 0 {
+		t.Fatalf("disabled tracing recorded %d spans", got)
+	}
+}

@@ -1,11 +1,13 @@
 package mail
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
 	"fmt"
 
+	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 	"partsvc/internal/wire"
 )
@@ -87,6 +89,30 @@ func NewEncryptorEndpoint(inner transport.Endpoint, key ChannelKey) *EncryptorEn
 // Call seals the wire-encoded request, transmits it as a tunnel
 // message, and opens the sealed response.
 func (e *EncryptorEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	return e.CallContext(context.Background(), m)
+}
+
+// CallContext is Call under a "tunnel.call" span. The span's context is
+// stamped into the inner message before sealing, so the trace survives
+// the encryption boundary: the transport's own stamping only reaches
+// the outer tunnel envelope, which the Decryptor discards.
+func (e *EncryptorEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	ctx, span := trace.Start(ctx, "tunnel.call")
+	resp, err := e.callContext(ctx, m, span)
+	if err != nil && span != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return resp, err
+}
+
+func (e *EncryptorEndpoint) callContext(ctx context.Context, m *wire.Message, span *trace.Span) (*wire.Message, error) {
+	if span != nil {
+		prevT, prevS := m.TraceID, m.SpanID
+		sc := span.Context()
+		m.TraceID, m.SpanID = sc.TraceID, sc.SpanID
+		defer func() { m.TraceID, m.SpanID = prevT, prevS }()
+	}
 	plain, err := m.Marshal()
 	if err != nil {
 		return nil, err
@@ -95,7 +121,7 @@ func (e *EncryptorEndpoint) Call(m *wire.Message) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := e.inner.Call(&wire.Message{
+	resp, err := transport.Call(ctx, e.inner, &wire.Message{
 		Kind: wire.KindRequest, ID: m.ID, Method: TunnelMethod, Body: sealed,
 	})
 	if err != nil {
@@ -130,7 +156,18 @@ func NewDecryptorHandler(inner transport.Handler, key ChannelKey) transport.Hand
 		if err != nil {
 			return transport.ErrorResponse(m, "decryptor: %v", err)
 		}
+		// Continue the inner message's trace (stamped by the Encryptor)
+		// through a "tunnel.serve" span, re-stamping the request so the
+		// inner handler's spans parent on it.
+		var span *trace.Span
+		if trace.Enabled() {
+			span = trace.Default.StartSpan(
+				trace.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID}, "tunnel.serve")
+			sc := span.Context()
+			req.TraceID, req.SpanID = sc.TraceID, sc.SpanID
+		}
 		resp := inner.Handle(req)
+		span.End()
 		if resp == nil {
 			return transport.ErrorResponse(m, "decryptor: inner handler returned nil")
 		}

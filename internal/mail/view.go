@@ -1,10 +1,13 @@
 package mail
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"partsvc/internal/coherence"
 	"partsvc/internal/seccrypto"
+	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 )
 
@@ -25,10 +28,20 @@ type Upstream interface {
 // PushUpdates applies a batch at the primary and republishes it to the
 // other replicas (directory fan-out).
 func (s *Server) PushUpdates(batch []coherence.Update) error {
+	return s.PushUpdatesCtx(context.Background(), batch)
+}
+
+// PushUpdatesCtx is PushUpdates under a "coherence.apply" span.
+func (s *Server) PushUpdatesCtx(ctx context.Context, batch []coherence.Update) error {
+	_, span := trace.Start(ctx, "coherence.apply")
+	if span != nil {
+		span.SetAttr("updates", strconv.Itoa(len(batch)))
+	}
 	// ApplyRemote marks the batch applied exactly once and invokes the
 	// store-apply callback; Publish forwards to sibling replicas.
 	s.replica.ApplyRemote(batch)
 	s.dir.Publish(ViewName, batch)
+	span.End()
 	return nil
 }
 
@@ -141,8 +154,14 @@ func (v *View) CreateAccount(user string) error {
 // the corresponding ViewMailServer"). The policy decides when pending
 // writes flush upstream.
 func (v *View) Send(from, to, subject string, body []byte, sensitivity int) (uint64, error) {
+	return v.SendCtx(context.Background(), from, to, subject, body, sensitivity)
+}
+
+// SendCtx is Send continuing the trace in ctx (upstream forwards and
+// policy-triggered flushes parent on the send's span).
+func (v *View) SendCtx(ctx context.Context, from, to, subject string, body []byte, sensitivity int) (uint64, error) {
 	if !v.store.Admissible(sensitivity) {
-		return v.upstream.Send(from, to, subject, body, sensitivity)
+		return SendCtx(ctx, v.upstream, from, to, subject, body, sensitivity)
 	}
 	m, err := sealMessage(v.keys, v.store, from, to, subject, body, sensitivity, v.clock.NowMS())
 	if err != nil {
@@ -157,7 +176,7 @@ func (v *View) Send(from, to, subject string, body []byte, sensitivity int) (uin
 		return 0, err
 	}
 	if v.replica.Write("send", m.To, data, v.clock.NowMS()) {
-		if err := v.Flush(); err != nil {
+		if err := v.flushCtx(ctx); err != nil {
 			return 0, fmt.Errorf("mail: view flush: %w", err)
 		}
 	}
@@ -168,11 +187,16 @@ func (v *View) Send(from, to, subject string, body []byte, sensitivity int) (uin
 // path) and fetches only messages above the view's ceiling from
 // upstream — those are never stored locally.
 func (v *View) Receive(user string) ([]*Message, error) {
+	return v.ReceiveCtx(context.Background(), user)
+}
+
+// ReceiveCtx is Receive continuing the trace in ctx.
+func (v *View) ReceiveCtx(ctx context.Context, user string) ([]*Message, error) {
 	// A receive that conflicts with pending local writes (per the
 	// dynamic conflict map) synchronizes first, so the reader observes
 	// its replica's own recent sends at the primary and siblings.
 	if v.replica.StaleFor("receive", v.conflicts) {
-		if err := v.Flush(); err != nil {
+		if err := v.flushCtx(ctx); err != nil {
 			return nil, fmt.Errorf("mail: conflict-driven flush: %w", err)
 		}
 	}
@@ -186,7 +210,7 @@ func (v *View) Receive(user string) ([]*Message, error) {
 		return local, nil
 	}
 	// High-sensitivity messages live only upstream.
-	remote, err := v.upstream.Receive(user)
+	remote, err := ReceiveCtx(ctx, v.upstream, user)
 	if err != nil {
 		// The upstream may simply not know the user yet when nothing
 		// high-sensitivity was ever sent; local results still stand.
@@ -218,12 +242,22 @@ func (v *View) Contacts(user string) ([]string, error) {
 }
 
 // Flush pushes all pending writes upstream immediately.
-func (v *View) Flush() error {
+func (v *View) Flush() error { return v.flushCtx(context.Background()) }
+
+// flushCtx pushes pending writes upstream under a "coherence.flush"
+// span, so traces show which operation paid for the synchronization.
+func (v *View) flushCtx(ctx context.Context) error {
 	batch := v.replica.TakePending(v.clock.NowMS())
 	if len(batch) == 0 {
 		return nil
 	}
-	return v.upstream.PushUpdates(batch)
+	ctx, span := trace.Start(ctx, "coherence.flush")
+	if span != nil {
+		span.SetAttr("updates", strconv.Itoa(len(batch)))
+	}
+	err := PushUpdatesCtx(ctx, v.upstream, batch)
+	span.End()
+	return err
 }
 
 // FlushIfDue flushes when a time-driven policy's deadline has passed.
@@ -244,6 +278,11 @@ func (v *View) Pending() int { return v.replica.Pending() }
 // locally (subject to the sensitivity ceiling) and forwarded toward the
 // primary.
 func (v *View) PushUpdates(batch []coherence.Update) error {
+	return v.PushUpdatesCtx(context.Background(), batch)
+}
+
+// PushUpdatesCtx is PushUpdates continuing the trace in ctx.
+func (v *View) PushUpdatesCtx(ctx context.Context, batch []coherence.Update) error {
 	v.replica.ApplyRemote(batch)
-	return v.upstream.PushUpdates(batch)
+	return PushUpdatesCtx(ctx, v.upstream, batch)
 }

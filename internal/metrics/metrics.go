@@ -65,6 +65,19 @@ func (r *Recorder) Add(v float64) {
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 
+// Merge appends all of o's samples to r (o unchanged). This is the
+// combine step for the documented "shard per goroutine" pattern: each
+// worker records into its own Recorder and the fan-in merges the
+// shards. Quantiles of the merge equal quantiles of a single Recorder
+// fed the same samples in any order.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, o.samples...)
+	r.sorted = false
+}
+
 // Mean returns the arithmetic mean (0 for no samples).
 func (r *Recorder) Mean() float64 {
 	if len(r.samples) == 0 {

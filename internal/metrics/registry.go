@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is one rendered metric: a name and an already-formatted value.
+// Subsystems with their own stats structs (planner, transport, sim
+// scheduler) expose them to the registry as snapshot funcs returning
+// []KV, so the registry never needs to know their internals.
+type KV struct {
+	Name  string
+	Value string
+}
+
+// KVf formats a metric value with fmt verbs — sugar for snapshot funcs.
+func KVf(name, format string, args ...any) KV {
+	return KV{Name: name, Value: fmt.Sprintf(format, args...)}
+}
+
+// Gauge is a concurrency-safe instantaneous value (queue depths,
+// utilization ratios). The zero value is ready to use.
+type Gauge struct{ v atomicFloat }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return g.v.load() }
+
+// Registry is the process-wide metrics namespace: named counters,
+// gauges, and histograms owned by the registry, plus per-subsystem
+// snapshot sections. One Render call (or one HTTP scrape) shows every
+// subsystem in one format. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	sections   []namedSection
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+type namedSection struct {
+	name string
+	fn   func() []KV
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// DefaultRegistry is the process-wide registry the transports, planner,
+// and cmds register into.
+var DefaultRegistry = NewRegistry()
+
+// RegisterSection attaches a named snapshot func; re-registering a name
+// replaces the func in place (a subsystem restarting keeps its slot).
+// Sections render in first-registration order, before owned metrics.
+func (r *Registry) RegisterSection(name string, fn func() []KV) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.sections {
+		if r.sections[i].name == name {
+			r.sections[i].fn = fn
+			return
+		}
+	}
+	r.sections = append(r.sections, namedSection{name: name, fn: fn})
+}
+
+// UnregisterSection removes a named section (closed transports).
+func (r *Registry) UnregisterSection(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.sections {
+		if r.sections[i].name == name {
+			r.sections = append(r.sections[:i], r.sections[i+1:]...)
+			return
+		}
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Names
+// are "section.metric" ("wire.pool_hits"); the part before the first
+// dot becomes the rendered section.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// The transports record per-RPC-method latencies this way
+// ("rpc.client.send").
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Section is one named group of rendered metrics.
+type Section struct {
+	Name  string
+	Items []KV
+}
+
+// Snapshot renders every section and owned metric: registered sections
+// in registration order, then owned counters/gauges/histograms grouped
+// by name prefix (before the first dot) in alphabetical order.
+// Histograms expand to count/mean/p50/p90/p99/max rows.
+func (r *Registry) Snapshot() []Section {
+	r.mu.Lock()
+	sections := make([]namedSection, len(r.sections))
+	copy(sections, r.sections)
+	owned := map[string][]KV{}
+	add := func(name string, kvs ...KV) {
+		sec, rest := splitMetricName(name)
+		for _, kv := range kvs {
+			if kv.Name == "" {
+				kv.Name = rest
+			} else {
+				kv.Name = rest + "." + kv.Name
+			}
+			owned[sec] = append(owned[sec], kv)
+		}
+	}
+	for name, c := range r.counters {
+		add(name, KVf("", "%d", c.Load()))
+	}
+	for name, g := range r.gauges {
+		add(name, KVf("", "%.2f", g.Load()))
+	}
+	for name, h := range r.histograms {
+		add(name,
+			KVf("count", "%d", h.Count()),
+			KVf("mean", "%.3f", h.Mean()),
+			KVf("p50", "%.3f", h.Quantile(0.50)),
+			KVf("p90", "%.3f", h.Quantile(0.90)),
+			KVf("p99", "%.3f", h.Quantile(0.99)),
+			KVf("max", "%.3f", h.Max()),
+		)
+	}
+	r.mu.Unlock()
+
+	out := make([]Section, 0, len(sections)+len(owned))
+	for _, s := range sections {
+		out = append(out, Section{Name: s.name, Items: s.fn()})
+	}
+	names := make([]string, 0, len(owned))
+	for name := range owned {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		items := owned[name]
+		sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+		out = append(out, Section{Name: name, Items: items})
+	}
+	return out
+}
+
+// Render returns the whole registry as one aligned text table — the
+// single stats format every cmd prints.
+func (r *Registry) Render() string {
+	t := NewTable("section", "metric", "value")
+	for _, sec := range r.Snapshot() {
+		for _, kv := range sec.Items {
+			t.AddRow(sec.Name, kv.Name, kv.Value)
+		}
+	}
+	return t.String()
+}
+
+// ServeHTTP exposes the registry as expvar-style JSON
+// ({"section":{"metric":"value"}}) for scraping; values keep their
+// rendered text form.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]map[string]string{}
+	for _, sec := range r.Snapshot() {
+		m := out[sec.Name]
+		if m == nil {
+			m = map[string]string{}
+			out[sec.Name] = m
+		}
+		for _, kv := range sec.Items {
+			m[kv.Name] = kv.Value
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // scrape errors are the client's problem
+}
+
+// splitMetricName splits "section.metric" at the first dot; names with
+// no dot land in the "misc" section.
+func splitMetricName(name string) (section, metric string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "misc", name
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySectionsRenderInOrder(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSection("transport", func() []KV {
+		return []KV{KVf("frames_sent", "%d", 7)}
+	})
+	r.RegisterSection("planner", func() []KV {
+		return []KV{KVf("chains", "%d", 48)}
+	})
+	r.Counter("wire.pool_hits").Add(3)
+	r.Gauge("sched.depth").Set(1.5)
+	r.Histogram("rpc.client.send").Observe(2)
+
+	secs := r.Snapshot()
+	var names []string
+	for _, s := range secs {
+		names = append(names, s.Name)
+	}
+	// Registered sections first (registration order), then owned
+	// metrics grouped by prefix, alphabetical.
+	want := []string{"transport", "planner", "rpc", "sched", "wire"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("section order = %v, want %v", names, want)
+	}
+
+	out := r.Render()
+	for _, frag := range []string{"frames_sent", "7", "chains", "48", "pool_hits",
+		"client.send.count", "client.send.p99", "depth", "1.50"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRegistryReplaceAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSection("s", func() []KV { return []KV{KVf("v", "old")} })
+	r.RegisterSection("s", func() []KV { return []KV{KVf("v", "new")} })
+	if got := r.Snapshot(); len(got) != 1 || got[0].Items[0].Value != "new" {
+		t.Fatalf("re-registered section not replaced: %+v", got)
+	}
+	r.UnregisterSection("s")
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("section not removed: %+v", got)
+	}
+}
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a.x") != r.Counter("a.x") {
+		t.Error("Counter not stable by name")
+	}
+	if r.Gauge("a.y") != r.Gauge("a.y") {
+		t.Error("Gauge not stable by name")
+	}
+	if r.Histogram("a.z") != r.Histogram("a.z") {
+		t.Error("Histogram not stable by name")
+	}
+	// Undotted names land in "misc".
+	r.Counter("plain").Add(1)
+	found := false
+	for _, s := range r.Snapshot() {
+		if s.Name == "misc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("undotted metric did not land in misc section")
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterSection("transport", func() []KV {
+		return []KV{KVf("bytes_sent", "%d", 1024)}
+	})
+	r.Counter("wire.hits").Add(5)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, nil)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var got map[string]map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got["transport"]["bytes_sent"] != "1024" {
+		t.Errorf("transport.bytes_sent = %q, want 1024", got["transport"]["bytes_sent"])
+	}
+	if got["wire"]["hits"] != "5" {
+		t.Errorf("wire.hits = %q, want 5", got["wire"]["hits"])
+	}
+}
+
+// TestRecorderMergeEquivalence is the satellite check for the bench
+// fan-in: sharded recorders merged in order must report the same
+// quantiles as one recorder fed the same samples serially.
+func TestRecorderMergeEquivalence(t *testing.T) {
+	whole := &Recorder{}
+	shards := []*Recorder{{}, {}, {}, {}}
+	for i := 0; i < 4001; i++ {
+		v := float64((i * 7919) % 1000) // deterministic pseudo-shuffle
+		whole.Add(v)
+		shards[i%4].Add(v)
+	}
+	merged := &Recorder{}
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	merged.Merge(nil)         // nil shard is a no-op
+	merged.Merge(&Recorder{}) // empty shard is a no-op
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	for _, p := range []float64{50, 90, 95, 99, 100} {
+		if m, w := merged.Percentile(p), whole.Percentile(p); m != w {
+			t.Errorf("p%g: merged %g != whole %g", p, m, w)
+		}
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Errorf("mean: merged %g != whole %g", merged.Mean(), whole.Mean())
+	}
+}
+
+// Merging must also work after the recorder has sorted itself for a
+// percentile read (sorted flag resets).
+func TestRecorderMergeAfterSort(t *testing.T) {
+	r := &Recorder{}
+	r.Add(3)
+	r.Add(1)
+	_ = r.Percentile(50) // forces sort
+	o := &Recorder{}
+	o.Add(2)
+	r.Merge(o)
+	if got := r.Percentile(50); got != 2 {
+		t.Fatalf("median after merge = %g, want 2", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"strings"
 
+	"partsvc/internal/metrics"
 	"partsvc/internal/netmodel"
 	"partsvc/internal/property"
 	"partsvc/internal/spec"
@@ -278,6 +279,27 @@ func New(svc *spec.Service, net *netmodel.Network) *Planner {
 
 // Stats returns the statistics accumulated by the most recent Plan call.
 func (pl *Planner) Stats() Stats { return pl.stats }
+
+// KVs renders the stats as metrics-registry rows.
+func (s Stats) KVs() []metrics.KV {
+	return []metrics.KV{
+		metrics.KVf("chains_enumerated", "%d", s.ChainsEnumerated),
+		metrics.KVf("mappings_tried", "%d", s.MappingsTried),
+		metrics.KVf("rejected_conditions", "%d", s.RejectedConditions),
+		metrics.KVf("rejected_props", "%d", s.RejectedProps),
+		metrics.KVf("rejected_load", "%d", s.RejectedLoad),
+		metrics.KVf("rejected_no_path", "%d", s.RejectedNoPath),
+		metrics.KVf("route_cache_hits", "%d", s.RouteCacheHits),
+		metrics.KVf("route_cache_misses", "%d", s.RouteCacheMisses),
+	}
+}
+
+// RegisterMetrics exposes the planner's latest-plan stats in reg under
+// the given section name ("planner"). Snapshots are taken at render
+// time, so the section always shows the most recent Plan call.
+func (pl *Planner) RegisterMetrics(reg *metrics.Registry, section string) {
+	reg.RegisterSection(section, func() []metrics.KV { return pl.Stats().KVs() })
+}
 
 // maxLen returns the effective chain length bound.
 func (pl *Planner) maxLen() int {

@@ -1,6 +1,7 @@
 package smock
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"partsvc/internal/netmodel"
 	"partsvc/internal/planner"
 	"partsvc/internal/spec"
+	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 	"partsvc/internal/wire"
 )
@@ -73,7 +75,13 @@ func (g *GenericServer) Handler() transport.Handler {
 			User:       m.Meta["user"],
 			RateRPS:    rate,
 		}
+		_, span := trace.StartRemote(context.Background(),
+			trace.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}, "smock.access")
+		if span != nil {
+			span.SetAttr("interface", req.Interface)
+		}
 		addr, dep, err := g.Access(req)
+		span.End()
 		if err != nil {
 			return transport.ErrorResponse(m, "%v", err)
 		}
@@ -148,11 +156,21 @@ func (p *GenericProxy) ensureBound() (transport.Endpoint, error) {
 // Call forwards a message to the deployed head component, deploying on
 // first use.
 func (p *GenericProxy) Call(m *wire.Message) (*wire.Message, error) {
+	return p.CallContext(context.Background(), m)
+}
+
+// CallContext is Call under a "smock.proxy" span, so the one-time
+// deployment handshake shows up in the first request's trace.
+func (p *GenericProxy) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	ctx, span := trace.Start(ctx, "smock.proxy")
 	ep, err := p.ensureBound()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("smock: proxy binding: %w", err)
 	}
-	return ep.Call(m)
+	resp, err := transport.Call(ctx, ep, m)
+	span.End()
+	return resp, err
 }
 
 // Close releases both the server handshake endpoint and the bound

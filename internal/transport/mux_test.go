@@ -369,7 +369,7 @@ func TestMuxStatsCount(t *testing.T) {
 	if st.InFlight != 0 {
 		t.Errorf("InFlight = %d after all calls returned", st.InFlight)
 	}
-	if st.PoolHits+st.PoolMisses == 0 {
+	if pool := wire.SnapshotPool(); pool.Hits+pool.Misses == 0 {
 		t.Error("buffer pool counters not moving")
 	}
 }

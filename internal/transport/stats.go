@@ -3,7 +3,7 @@ package transport
 import (
 	"sync/atomic"
 
-	"partsvc/internal/wire"
+	"partsvc/internal/metrics"
 )
 
 // Stats holds the per-transport data-plane counters. All fields are
@@ -23,8 +23,11 @@ type Stats struct {
 	DecodeErrors atomic.Uint64
 }
 
-// StatsSnapshot is a point-in-time copy of Stats plus the wire buffer
-// pool counters, suitable for rendering in tables.
+// StatsSnapshot is a point-in-time copy of one transport's counters,
+// suitable for rendering in tables. It is strictly per-transport: the
+// process-wide wire buffer pool is reported separately by
+// wire.SnapshotPool, so two live transports never fold each other's
+// pool traffic into their own numbers.
 type StatsSnapshot struct {
 	InFlight       int64
 	FramesSent     uint64
@@ -32,13 +35,10 @@ type StatsSnapshot struct {
 	BytesSent      uint64
 	BytesReceived  uint64
 	DecodeErrors   uint64
-	PoolHits       uint64
-	PoolMisses     uint64
 }
 
-// Snapshot copies the counters and attaches the wire pool stats.
+// Snapshot copies this transport's counters.
 func (s *Stats) Snapshot() StatsSnapshot {
-	hits, misses := wire.PoolStats()
 	return StatsSnapshot{
 		InFlight:       s.InFlight.Load(),
 		FramesSent:     s.FramesSent.Load(),
@@ -46,16 +46,24 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BytesSent:      s.BytesSent.Load(),
 		BytesReceived:  s.BytesReceived.Load(),
 		DecodeErrors:   s.DecodeErrors.Load(),
-		PoolHits:       hits,
-		PoolMisses:     misses,
 	}
 }
 
-// PoolHitRate returns the buffer pool hit fraction (0 when unused).
-func (s StatsSnapshot) PoolHitRate() float64 {
-	total := s.PoolHits + s.PoolMisses
-	if total == 0 {
-		return 0
+// KVs renders the snapshot as registry rows.
+func (s StatsSnapshot) KVs() []metrics.KV {
+	return []metrics.KV{
+		metrics.KVf("in_flight", "%d", s.InFlight),
+		metrics.KVf("frames_sent", "%d", s.FramesSent),
+		metrics.KVf("frames_received", "%d", s.FramesReceived),
+		metrics.KVf("bytes_sent", "%d", s.BytesSent),
+		metrics.KVf("bytes_received", "%d", s.BytesReceived),
+		metrics.KVf("decode_errors", "%d", s.DecodeErrors),
 	}
-	return float64(s.PoolHits) / float64(total)
+}
+
+// RegisterMetrics exposes this transport's counters in reg under the
+// given section name ("transport.tcp"). Call UnregisterSection on
+// close if the registry outlives the transport.
+func (s *Stats) RegisterMetrics(reg *metrics.Registry, section string) {
+	reg.RegisterSection(section, func() []metrics.KV { return s.Snapshot().KVs() })
 }

@@ -219,7 +219,7 @@ func (l *tcpListener) worker() {
 	for {
 		select {
 		case d := <-l.dispatch:
-			resp := l.h.Handle(d.req)
+			resp := serveObserved(l.h, d.req)
 			if resp == nil {
 				resp = ErrorResponse(d.req, "handler returned nil")
 			}
@@ -441,6 +441,13 @@ func (e *tcpEndpoint) Call(m *wire.Message) (*wire.Message, error) {
 // ctx abandons the wait (the response, if it still arrives, is
 // discarded by the reader).
 func (e *tcpEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	ctx, obs := beginClientCall(ctx, m)
+	resp, err := e.callContext(ctx, m)
+	obs.end(m, err)
+	return resp, err
+}
+
+func (e *tcpEndpoint) callContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
 	// On error AppendTo returns the scratch buffer unmodified, so it
 	// goes back to the pool instead of leaking.
 	payload, err := m.AppendTo(wire.GetBuffer())

@@ -192,6 +192,13 @@ func (e *inprocEndpoint) Call(m *wire.Message) (*wire.Message, error) {
 // handler already executing on the caller's goroutine cannot be
 // interrupted).
 func (e *inprocEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	ctx, obs := beginClientCall(ctx, m)
+	resp, err := e.callContext(ctx, m)
+	obs.end(m, err)
+	return resp, err
+}
+
+func (e *inprocEndpoint) callContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -227,7 +234,7 @@ func (e *inprocEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wir
 		stats.DecodeErrors.Add(1)
 		return nil, fmt.Errorf("transport: decoding request: %w", err)
 	}
-	resp := h.Handle(req)
+	resp := serveObserved(h, req)
 	if resp == nil {
 		return nil, fmt.Errorf("transport: handler for %q returned nil", e.addr)
 	}

@@ -195,3 +195,26 @@ func PutBuffer(b []byte) {
 func PoolStats() (hits, misses uint64) {
 	return poolHits.Load(), poolMisses.Load()
 }
+
+// PoolSnapshot is a point-in-time copy of the buffer pool counters.
+// The pool is process-wide (shared by every transport in the process),
+// so its numbers belong in a process-wide stats section, never in a
+// per-transport one.
+type PoolSnapshot struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// SnapshotPool captures the process-wide buffer pool counters.
+func SnapshotPool() PoolSnapshot {
+	return PoolSnapshot{Hits: poolHits.Load(), Misses: poolMisses.Load()}
+}
+
+// HitRate returns the pool hit fraction (0 when unused).
+func (p PoolSnapshot) HitRate() float64 {
+	total := p.Hits + p.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(total)
+}

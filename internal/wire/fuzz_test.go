@@ -56,6 +56,7 @@ func FuzzUnmarshalMessage(f *testing.F) {
 		{Kind: KindRequest, ID: 1, Method: "echo", Body: []byte("hi")},
 		{Kind: KindResponse, ID: 2, Target: "t@n", Meta: map[string]string{"a": "b"}},
 		{Kind: KindError, Meta: map[string]string{"error": "boom"}},
+		{Kind: KindRequest, ID: 3, Method: "send", TraceID: 7, SpanID: 9},
 	}
 	for _, m := range seeds {
 		data, err := m.Marshal()
@@ -79,7 +80,8 @@ func FuzzUnmarshalMessage(f *testing.F) {
 			t.Fatalf("re-marshaled message does not decode: %v", err)
 		}
 		if m2.Kind != m.Kind || m2.ID != m.ID || m2.Target != m.Target ||
-			m2.Method != m.Method || !bytes.Equal(m2.Body, m.Body) {
+			m2.Method != m.Method || !bytes.Equal(m2.Body, m.Body) ||
+			m2.TraceID != m.TraceID || m2.SpanID != m.SpanID {
 			t.Fatalf("round trip changed message: %+v vs %+v", m, m2)
 		}
 	})

@@ -63,6 +63,14 @@ type Message struct {
 	Meta map[string]string
 	// Body is the operation payload, opaque to the transport.
 	Body []byte
+	// TraceID and SpanID carry the request-tracing context across RPC
+	// boundaries. They ride in an optional "trace" field emitted only
+	// when TraceID is non-zero, so untraced messages encode
+	// byte-identically to the pre-tracing format — and peers that
+	// predate tracing (v1 or older v2 decoders) skip the field via the
+	// unknown-field path without seeing any difference.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Message field keys in their wire order. The encoding is the generic
@@ -75,7 +83,12 @@ const (
 	keyMeta   = "meta"
 	keyMethod = "method"
 	keyTarget = "target"
+	keyTrace  = "trace" // optional; sorts after "target"
 )
+
+// traceFieldLen is the payload of the optional trace field: big-endian
+// trace ID followed by big-endian span ID.
+const traceFieldLen = 16
 
 func appendKeyedString(buf []byte, key string) []byte {
 	buf = append(buf, tagString)
@@ -114,8 +127,12 @@ func (m *Message) AppendTo(buf []byte) ([]byte, error) {
 	if err := m.checkLengths(); err != nil {
 		return buf, err
 	}
+	fields := uint32(6)
+	if m.TraceID != 0 {
+		fields = 7
+	}
 	buf = append(buf, tagMap)
-	buf = binary.BigEndian.AppendUint32(buf, 6)
+	buf = binary.BigEndian.AppendUint32(buf, fields)
 
 	buf = appendKeyedString(buf, keyBody)
 	buf = append(buf, tagBytes)
@@ -148,6 +165,14 @@ func (m *Message) AppendTo(buf []byte) ([]byte, error) {
 
 	buf = appendKeyedString(buf, keyTarget)
 	buf = appendKeyedString(buf, m.Target)
+
+	if m.TraceID != 0 {
+		buf = appendKeyedString(buf, keyTrace)
+		buf = append(buf, tagBytes)
+		buf = binary.BigEndian.AppendUint32(buf, traceFieldLen)
+		buf = binary.BigEndian.AppendUint64(buf, m.TraceID)
+		buf = binary.BigEndian.AppendUint64(buf, m.SpanID)
+	}
 	return buf, nil
 }
 
@@ -253,6 +278,23 @@ func UnmarshalMessage(data []byte) (*Message, error) {
 				copy(m.Body, data[:n])
 			}
 			data = data[n:]
+		case keyTrace:
+			// Optional trace context. Unexpected shapes (a future
+			// revision widening the field) are skipped, not rejected —
+			// the same leniency older decoders extend to us.
+			if len(data) >= 5 && data[0] == tagBytes &&
+				binary.BigEndian.Uint32(data[1:5]) == traceFieldLen &&
+				uint32(len(data)-5) >= traceFieldLen {
+				m.TraceID = binary.BigEndian.Uint64(data[5:13])
+				m.SpanID = binary.BigEndian.Uint64(data[13:21])
+				data = data[5+traceFieldLen:]
+				break
+			}
+			var rest []byte
+			if _, rest, err = DecodeValue(data); err != nil {
+				return nil, fmt.Errorf("wire: message field %q: %w", key, err)
+			}
+			data = rest
 		default:
 			// Forward compatibility: skip unknown fields.
 			var rest []byte

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestMessageTraceRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KindRequest, ID: 9, Method: "send",
+		TraceID: 0xDEADBEEF, SpanID: 77,
+		Body: []byte("x"),
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMessage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("traced round trip:\n got %#v\nwant %#v", got, m)
+	}
+}
+
+// Untraced messages must encode byte-identically to the pre-tracing
+// format: six fields, no "trace" key. This is what keeps v1 peers and
+// old v2 decoders working, and what the fuzz corpus pins down.
+func TestUntracedEncodingHasNoTraceField(t *testing.T) {
+	m := &Message{Kind: KindRequest, ID: 1, Method: "send", Body: []byte("b")}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("trace")) {
+		t.Error("untraced encoding contains a trace field")
+	}
+	traced := &Message{Kind: KindRequest, ID: 1, Method: "send", Body: []byte("b"), TraceID: 5, SpanID: 6}
+	tdata, err := traced.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tdata, []byte("trace")) {
+		t.Error("traced encoding missing trace field")
+	}
+	// The traced encoding is the untraced one plus the appended field:
+	// same prefix after the field count word.
+	if !bytes.Equal(tdata[5:5+len(data)-5], data[5:]) {
+		t.Error("trace field not appended after the shared prefix")
+	}
+}
+
+// A span ID alone (TraceID zero) is meaningless and must not emit the
+// field — the invalid context cannot resurrect on the far side.
+func TestZeroTraceIDNotEmitted(t *testing.T) {
+	m := &Message{Kind: KindResponse, SpanID: 123}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMessage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Errorf("got trace %d/%d, want 0/0", got.TraceID, got.SpanID)
+	}
+}
+
+// An unknown extra field (what our "trace" looks like to an old
+// decoder) must be skipped, not rejected — the compatibility contract
+// the trace field rides on.
+func TestUnknownFieldSkipped(t *testing.T) {
+	data, err := Marshal(map[string]any{
+		"body": []byte("b"), "id": int64(4), "kind": int64(KindRequest),
+		"meta": map[string]any{}, "method": "send", "target": "",
+		"zz-future": []byte{1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMessage(data)
+	if err != nil {
+		t.Fatalf("unknown field must be skipped: %v", err)
+	}
+	if got.ID != 4 || got.Method != "send" {
+		t.Errorf("fields lost around unknown field: %+v", got)
+	}
+}

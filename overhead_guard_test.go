@@ -1,0 +1,77 @@
+package partsvc
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"partsvc/internal/trace"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// TestTracingOverheadGuard is the CI regression gate for the
+// tracing-disabled fast path: the per-RPC cost of the disabled trace
+// gates (one atomic load plus a context lookup each) must stay under
+// 2% of one BenchmarkRPCThroughput-style TCP loopback call. It runs
+// benchmarks in-process, so it is env-gated to keep `go test ./...`
+// fast and quiet on laptops.
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("RUN_OVERHEAD_GUARD") == "" {
+		t.Skip("set RUN_OVERHEAD_GUARD=1 to run the tracing overhead guard")
+	}
+	trace.SetEnabled(false)
+
+	// Cost of one disabled gate: what every instrumented layer pays per
+	// request when tracing is off.
+	ctx := context.Background()
+	gate := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, s := trace.Start(ctx, "guard")
+			s.End()
+		}
+	})
+
+	// Cost of one real RPC on the path the gates sit on.
+	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Body: m.Body}
+	})
+	tr := transport.NewTCP()
+	ln, err := tr.Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ep, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	body := make([]byte, 256)
+	rpc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ep.Call(&wire.Message{Kind: wire.KindRequest, Method: "echo", Body: body}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Gates on one traced request path: client call, server serve, mail
+	// handler, coherence flush, tunnel seal/open, plus slack.
+	const gatesPerOp = 8
+	gateNs := float64(gate.NsPerOp())
+	rpcNs := float64(rpc.NsPerOp())
+	if rpcNs == 0 {
+		t.Fatal("rpc benchmark measured 0 ns/op")
+	}
+	overhead := gateNs * gatesPerOp / rpcNs
+	t.Logf("disabled gate: %.1f ns/op × %d gates = %.0f ns vs RPC %.0f ns/op → %.3f%% overhead",
+		gateNs, gatesPerOp, gateNs*gatesPerOp, rpcNs, 100*overhead)
+	if allocs := gate.AllocsPerOp(); allocs != 0 {
+		t.Errorf("disabled gate allocates %d objects/op, want 0", allocs)
+	}
+	if overhead > 0.02 {
+		t.Errorf("disabled tracing adds %.2f%% to an RPC, budget is 2%%", 100*overhead)
+	}
+}
