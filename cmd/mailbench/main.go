@@ -7,6 +7,7 @@
 //
 //	mailbench                   # Figure 7 table
 //	mailbench -onetime          # one-time cost breakdown (E7)
+//	mailbench -fig8             # live adaptation under scripted faults (A7)
 //	mailbench -sweep            # coherence policy sweep (A2)
 //	mailbench -scaling          # planner scaling on Waxman topologies (A3)
 //	mailbench -clients 8        # widen the client sweep (1..8 per scenario)
@@ -37,6 +38,7 @@ import (
 
 func main() {
 	onetime := flag.Bool("onetime", false, "measure one-time deployment costs (E7)")
+	fig8 := flag.Bool("fig8", false, "live adaptation under scripted faults (A7)")
 	sweep := flag.Bool("sweep", false, "coherence policy sweep (A2)")
 	scaling := flag.Bool("scaling", false, "planner scaling sweep (A3)")
 	clients := flag.Int("clients", 0, "override the maximum client count")
@@ -76,6 +78,14 @@ func main() {
 		}
 		fmt.Println("One-time costs for the San Diego deployment (paper: ~10 s on 2002 hardware):")
 		fmt.Print(bench.OneTimeTable(costs))
+	case *fig8:
+		f8 := bench.DefaultFig8Config()
+		f8.Workers = *workers
+		fmt.Printf("Adaptation under scripted faults (A7): fault at %.0fms, %.0fms run, virtual clock:\n",
+			f8.FaultAtMS, f8.DurationMS)
+		fmt.Print(bench.Fig8Table(bench.RunFig8(f8)))
+		fmt.Println("\ndetect = fault -> replan (node crashes pay the probe suspicion window);")
+		fmt.Println("cutover = replan -> bindings flipped (the model deploys instantaneously).")
 	case *sweep:
 		fmt.Printf("Coherence policy sweep, %d clients (ablation A2):\n", 2)
 		fmt.Print(bench.BoundSweepTable(bench.CoherenceBoundSweep(cfg, 2)))

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"partsvc/internal/adapt"
+	"partsvc/internal/mail"
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/planner"
+	"partsvc/internal/seccrypto"
+	"partsvc/internal/smock"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+	"partsvc/internal/transport"
+)
+
+// adaptWorld is the case study deployed in-process: wrappers with
+// control listeners on every node, the NY primary, a generic server,
+// and a lookup — the same substrate the adaptation e2e tests run on.
+type adaptWorld struct {
+	tr       transport.Transport
+	net      *netmodel.Network
+	mon      *netmon.Monitor
+	keys     *seccrypto.KeyRing
+	primary  *mail.Server
+	engine   *smock.Engine
+	gs       *smock.GenericServer
+	lookup   *smock.Lookup
+	wrappers map[netmodel.NodeID]*smock.NodeWrapper
+}
+
+func newAdaptWorld() (*adaptWorld, error) {
+	w := &adaptWorld{
+		tr:   transport.NewInProc(),
+		keys: seccrypto.NewKeyRing(), wrappers: map[netmodel.NodeID]*smock.NodeWrapper{},
+	}
+	clock := transport.NewRealClock()
+	w.primary = mail.NewServer(w.keys, clock)
+	for _, u := range []string{"Alice", "Carol"} {
+		if err := w.primary.CreateAccount(u); err != nil {
+			return nil, err
+		}
+	}
+	reg := smock.NewRegistry()
+	if err := mail.RegisterFactories(reg, &mail.ServiceEnv{Primary: w.primary, Keys: w.keys}); err != nil {
+		return nil, err
+	}
+	w.net = topology.CaseStudy()
+	w.mon = netmon.New(w.net)
+	w.engine = smock.NewEngine(w.tr)
+	for _, node := range w.net.Nodes() {
+		wr := smock.NewNodeWrapper(node.ID, w.tr, reg, clock)
+		w.engine.RegisterWrapper(wr)
+		if _, err := wr.ServeControl(); err != nil {
+			return nil, err
+		}
+		w.wrappers[node.ID] = wr
+	}
+	addr, err := w.wrappers[topology.NYServer].Install(smock.InstallOrder{
+		Component: spec.CompMailServer, InstanceID: "mail-primary",
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc := spec.MailService()
+	pl := planner.New(svc, w.net)
+	msPlace, err := pl.PrimaryPlacement(spec.CompMailServer, topology.NYServer)
+	if err != nil {
+		return nil, err
+	}
+	pl.AddExisting(msPlace)
+	w.engine.AdoptInstance(msPlace, addr)
+	w.gs = smock.NewGenericServer(svc, pl, w.engine)
+	w.lookup = smock.NewLookup()
+	w.engine.SetLookup(w.lookup)
+	return w, nil
+}
+
+// runAdapt deploys the case study in-process, starts the adaptation
+// controller, injects one fault, and streams every controller event
+// while client traffic keeps flowing through the rebinding endpoint.
+func runAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	fault := fs.String("fault", "node-crash",
+		"fault to inject: node-crash (kill sd-2), link-degrade, link-down (SD~Seattle)")
+	sends := fs.Int("sends", 8, "client sends to push through the adaptation")
+	timeout := fs.Duration("timeout", 15*time.Second, "abort if adaptation has not completed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := newAdaptWorld()
+	if err != nil {
+		return err
+	}
+	// Warm up San Diego so Seattle anchors onto the sd-2 view — the
+	// case study's incremental state, and the fault's blast radius.
+	warm := planner.Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50}
+	if _, _, err := w.gs.Access(warm); err != nil {
+		return err
+	}
+	req := planner.Request{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50}
+	headAddr, dep, err := w.gs.Access(req)
+	if err != nil {
+		return err
+	}
+	const service = "mail-head-carol"
+	if err := w.lookup.Register(smock.Entry{Service: service, ServerAddr: headAddr}); err != nil {
+		return err
+	}
+	fmt.Printf("deployed carol: %s\n", dep)
+
+	session := adapt.NewSession("carol", service, req, dep, headAddr)
+	reb := adapt.NewRebindEndpoint(w.tr, adapt.LookupResolver(w.lookup, service),
+		adapt.RetryConfig{MaxAttempts: 12, BackoffMS: 25})
+	defer reb.Close()
+	session.Bind(reb)
+
+	var out sync.Mutex
+	adapted := make(chan struct{}, 1)
+	ctrl := adapt.New(adapt.Config{
+		DebounceMS: 20, ProbeIntervalMS: 25, ProbeTimeoutMS: 500,
+		SuspicionThreshold: 2, DrainMS: 40,
+	}, w.mon, &adapt.EngineExecutor{
+		Server: w.gs, Engine: w.engine, Lookup: w.lookup,
+		Transport: w.tr, Spec: spec.MailService(),
+	}, adapt.NewRealScheduler())
+	ctrl.SetProber(adapt.NewTransportProber(w.tr), w.engine.ControlAddrs)
+	ctrl.OnEvent(func(e adapt.Event) {
+		out.Lock()
+		fmt.Println(e)
+		out.Unlock()
+		if e.Kind == "adapted" {
+			select {
+			case adapted <- struct{}{}:
+			default:
+			}
+		}
+	})
+	ctrl.Track(session)
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	carol := mail.NewViewClient("Carol", 2, w.keys.SubRing(2), mail.NewRemote(reb))
+	if _, err := carol.Send("Alice", "baseline", []byte("pre-fault"), 2); err != nil {
+		return fmt.Errorf("baseline send: %v", err)
+	}
+
+	switch *fault {
+	case "node-crash":
+		fmt.Printf("-- killing node %s --\n", topology.SDClient)
+		w.wrappers[topology.SDClient].Close()
+	case "link-degrade":
+		fmt.Printf("-- degrading link %s~%s to 1500ms --\n", topology.SDGateway, topology.SeaGW)
+		if err := w.mon.ReportLink(topology.SDGateway, topology.SeaGW, 1500, 1, nil); err != nil {
+			return err
+		}
+	case "link-down":
+		fmt.Printf("-- severing link %s~%s --\n", topology.SDGateway, topology.SeaGW)
+		if err := w.mon.ReportLink(topology.SDGateway, topology.SeaGW, 1e9, 1e-6, nil); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -fault %q", *fault)
+	}
+
+	deadline := time.After(*timeout)
+	done := false
+	for i := 1; i <= *sends || !done; i++ {
+		select {
+		case <-adapted:
+			done = true
+		case <-deadline:
+			return fmt.Errorf("adaptation did not complete within %v", *timeout)
+		default:
+		}
+		if i <= *sends {
+			subject := fmt.Sprintf("during-%d", i)
+			if _, err := carol.Send("Alice", subject, []byte(subject), 2); err != nil {
+				return fmt.Errorf("client-visible error during adaptation (send %d): %v", i, err)
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	out.Lock()
+	defer out.Unlock()
+	fmt.Printf("adapted: %s\n", session.Deployment())
+	fmt.Printf("head %s -> %s; %d sends, zero client-visible errors; primary inbox %d\n",
+		headAddr, session.HeadAddr(), *sends+1, w.primary.Store().InboxCount("Alice"))
+	return nil
+}

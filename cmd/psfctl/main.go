@@ -13,6 +13,7 @@
 //	psfctl rpc [-callers 64] [-d 2s]  # loopback data-plane throughput probe
 //	psfctl stats [-http :8080]        # unified metrics registry across subsystems
 //	psfctl trace [-sim]               # end-to-end trace of one mail send
+//	psfctl adapt [-fault node-crash]  # live adaptation demo, streaming controller events
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "adapt":
+		err = runAdapt(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc|stats|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc|stats|trace|adapt> [flags]")
 }
 
 // loadSpec reads a spec from -f, defaulting to the built-in mail spec.

@@ -1,0 +1,476 @@
+// Package adapt closes the paper's adaptation loop as a real subsystem:
+// monitor → replan → redeploy, continuously. Section 6 leaves this as
+// future work ("the framework be integrated with network monitoring
+// tools … whether a new deployment (either incremental or complete) is
+// called for"); earlier layers of this reproduction built the pieces —
+// netmon reports changes, planner.Replan computes diffs, the smock
+// engine realizes them — but gluing them together was manual test
+// choreography. The Controller here automates it: it subscribes to the
+// monitor, actively probes deployed nodes for liveness, debounces
+// change bursts, replans every tracked session, and executes each diff
+// as a staged cutover (snapshot state → deploy → publish → flip client
+// bindings → drain → teardown) so clients keep getting answers while
+// the service re-partitions under them.
+//
+// The controller is clock-abstracted (Scheduler): the same state
+// machine runs on the wall clock against real TCP deployments and on
+// the virtual clock inside internal/sim, where its timing behavior is
+// deterministic and fast to test.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/planner"
+)
+
+// Config tunes the controller's timing and thresholds. All durations
+// are in (real or virtual) milliseconds.
+type Config struct {
+	// DebounceMS batches change bursts: the controller replans this long
+	// after the last observed change, not once per change (default 50).
+	DebounceMS float64
+	// ProbeIntervalMS is the heartbeat period for active failure
+	// detection; 0 disables probing (passive mode — the controller still
+	// reacts to reported changes).
+	ProbeIntervalMS float64
+	// ProbeTimeoutMS bounds each probe (default 1000).
+	ProbeTimeoutMS float64
+	// SuspicionThreshold is the number of consecutive probe failures
+	// before a node is declared down (default 2). One lost heartbeat is
+	// suspicion; only repetition is evidence.
+	SuspicionThreshold int
+	// DrainMS is how long replaced instances keep running after the
+	// client bindings flip, letting in-flight requests finish before
+	// teardown (default 100).
+	DrainMS float64
+	// RetryBackoffMS is the delay before retrying a failed adaptation;
+	// it doubles per consecutive failure (default 200).
+	RetryBackoffMS float64
+	// MaxAdaptRetries bounds consecutive retries of a failing adaptation
+	// per session (default 3). After that the session waits for the next
+	// network change.
+	MaxAdaptRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DebounceMS <= 0 {
+		c.DebounceMS = 50
+	}
+	if c.ProbeTimeoutMS <= 0 {
+		c.ProbeTimeoutMS = 1000
+	}
+	if c.SuspicionThreshold <= 0 {
+		c.SuspicionThreshold = 2
+	}
+	if c.DrainMS <= 0 {
+		c.DrainMS = 100
+	}
+	if c.RetryBackoffMS <= 0 {
+		c.RetryBackoffMS = 200
+	}
+	if c.MaxAdaptRetries <= 0 {
+		c.MaxAdaptRetries = 3
+	}
+	return c
+}
+
+// Event is one observable step of the control loop, timestamped on the
+// controller's clock. Kind is one of "observe" (changes arrived),
+// "suspect" (node declared down by the failure detector), "replan",
+// "stage" (cutover stage entered; Detail names it), "adapted",
+// "unchanged", or "failed".
+type Event struct {
+	AtMS    float64
+	Kind    string
+	Session string
+	Detail  string
+}
+
+// String renders the event for streaming logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%8.1fms] %-9s", e.AtMS, e.Kind)
+	if e.Session != "" {
+		s += " " + e.Session
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Session is one client-facing deployment the controller keeps valid:
+// the planning request that produced it, the current deployment, and
+// the client bindings to flip when the head moves.
+type Session struct {
+	// Name identifies the session in events.
+	Name string
+	// Service, when non-empty, is the lookup name under which the head
+	// address is (re-)published on every cutover.
+	Service string
+	// Req is the planning request to replay on every replan.
+	Req planner.Request
+
+	mu       sync.Mutex
+	dep      *planner.Deployment
+	head     string
+	bindings []Flippable
+}
+
+// NewSession wraps an initial deployment (from GenericServer.Access or
+// Engine.Execute) for tracking.
+func NewSession(name, service string, req planner.Request, dep *planner.Deployment, headAddr string) *Session {
+	return &Session{Name: name, Service: service, Req: req, dep: dep, head: headAddr}
+}
+
+// Bind registers a client binding to repoint on cutover.
+func (s *Session) Bind(f Flippable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bindings = append(s.bindings, f)
+}
+
+// Deployment returns the session's current deployment.
+func (s *Session) Deployment() *planner.Deployment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dep
+}
+
+// HeadAddr returns the current head component address.
+func (s *Session) HeadAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+func (s *Session) snapshot() (*planner.Deployment, string, []Flippable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dep, s.head, append([]Flippable(nil), s.bindings...)
+}
+
+func (s *Session) commit(dep *planner.Deployment, head string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dep = dep
+	s.head = head
+}
+
+// Controller runs the adaptation loop. Construct with New, Track the
+// sessions to keep valid, then Start.
+type Controller struct {
+	cfg    Config
+	mon    *netmon.Monitor
+	exec   Executor
+	sched  Scheduler
+	prober Prober
+	// targets enumerates probe targets (typically Engine.ControlAddrs).
+	targets func() map[netmodel.NodeID]string
+	onEvent func(Event)
+
+	probesSent, probesFailed  *metrics.Counter
+	replans, replanFailures   *metrics.Counter
+	adaptations, cutoverFails *metrics.Counter
+	cutoverMS                 *metrics.Histogram
+
+	adaptMu sync.Mutex // serializes adaptation passes
+
+	mu             sync.Mutex
+	sessions       []*Session
+	started        bool
+	stopped        bool
+	debounceCancel func() bool
+	probeCancel    func() bool
+	suspicion      map[netmodel.NodeID]int
+	reportedDown   map[netmodel.NodeID]bool
+	retryCount     map[string]int
+	retryPending   map[string]bool
+}
+
+// New builds a controller over a monitor and an executor. prober and
+// targets may be nil when cfg.ProbeIntervalMS is 0.
+func New(cfg Config, mon *netmon.Monitor, exec Executor, sched Scheduler) *Controller {
+	reg := metrics.DefaultRegistry
+	return &Controller{
+		cfg: cfg.withDefaults(), mon: mon, exec: exec, sched: sched,
+		probesSent:     reg.Counter("adapt.probes_sent"),
+		probesFailed:   reg.Counter("adapt.probes_failed"),
+		replans:        reg.Counter("adapt.replans"),
+		replanFailures: reg.Counter("adapt.replan_failures"),
+		adaptations:    reg.Counter("adapt.adaptations"),
+		cutoverFails:   reg.Counter("adapt.cutover_failures"),
+		cutoverMS:      reg.Histogram("adapt.cutover_ms"),
+		suspicion:      map[netmodel.NodeID]int{},
+		reportedDown:   map[netmodel.NodeID]bool{},
+		retryCount:     map[string]int{},
+		retryPending:   map[string]bool{},
+	}
+}
+
+// SetProber installs the failure detector and its target enumerator.
+// Must be called before Start.
+func (c *Controller) SetProber(p Prober, targets func() map[netmodel.NodeID]string) {
+	c.prober = p
+	c.targets = targets
+}
+
+// OnEvent installs an event sink (streamed to logs by psfctl, asserted
+// on by tests). Must be called before Start; events are emitted without
+// holding controller locks.
+func (c *Controller) OnEvent(fn func(Event)) { c.onEvent = fn }
+
+// Track adds a session to keep valid. May be called before or after
+// Start.
+func (c *Controller) Track(s *Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sessions = append(c.sessions, s)
+}
+
+// Start subscribes to the monitor and, when configured, starts the
+// probe loop.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.mon.Subscribe(c.onChanges)
+	if c.cfg.ProbeIntervalMS > 0 && c.prober != nil && c.targets != nil {
+		c.scheduleProbe()
+	}
+}
+
+// Stop cancels pending timers. Already-running adaptation passes finish;
+// no new ones start. (The monitor subscription stays registered but
+// becomes inert.)
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	debounce, probe := c.debounceCancel, c.probeCancel
+	c.debounceCancel, c.probeCancel = nil, nil
+	c.mu.Unlock()
+	if debounce != nil {
+		debounce()
+	}
+	if probe != nil {
+		probe()
+	}
+}
+
+func (c *Controller) emit(kind, session, detail string) {
+	if c.onEvent == nil {
+		return
+	}
+	c.onEvent(Event{AtMS: c.sched.NowMS(), Kind: kind, Session: session, Detail: detail})
+}
+
+// onChanges is the netmon subscriber. It runs synchronously under the
+// monitor's mutex, so it must only note the changes and arm the
+// debounce timer — all real work happens later, on the scheduler.
+func (c *Controller) onChanges(changes []netmon.Change) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	if c.debounceCancel != nil {
+		c.debounceCancel() // extend the window: the burst is still going
+	}
+	c.debounceCancel = c.sched.After(c.cfg.DebounceMS, c.debounceExpired)
+	c.mu.Unlock()
+	detail := changes[0].String()
+	if len(changes) > 1 {
+		detail = fmt.Sprintf("%s (+%d more)", detail, len(changes)-1)
+	}
+	c.emit("observe", "", detail)
+}
+
+func (c *Controller) debounceExpired() {
+	c.mu.Lock()
+	c.debounceCancel = nil
+	stopped := c.stopped
+	c.mu.Unlock()
+	if !stopped {
+		c.adaptAll()
+	}
+}
+
+// adaptAll replans every tracked session against the current network.
+func (c *Controller) adaptAll() {
+	c.adaptMu.Lock()
+	defer c.adaptMu.Unlock()
+	c.mu.Lock()
+	sessions := append([]*Session(nil), c.sessions...)
+	c.mu.Unlock()
+	for _, s := range sessions {
+		c.adaptSession(s)
+	}
+}
+
+func (c *Controller) adaptSession(s *Session) {
+	old, oldHead, bindings := s.snapshot()
+	c.replans.Inc()
+	diff, err := c.exec.Replan(old, s.Req)
+	if err != nil {
+		c.replanFailures.Inc()
+		c.emit("failed", s.Name, fmt.Sprintf("replan: %v", err))
+		c.scheduleRetry(s)
+		return
+	}
+	c.emit("replan", s.Name, diffSummary(diff))
+	if diff.Unchanged() && len(diff.Evicted) == 0 {
+		c.clearRetry(s)
+		c.emit("unchanged", s.Name, "")
+		return
+	}
+	start := c.sched.NowMS()
+	if err := c.cutover(s, old, bindings, diff); err != nil {
+		c.cutoverFails.Inc()
+		c.emit("failed", s.Name, err.Error())
+		c.scheduleRetry(s)
+		return
+	}
+	c.clearRetry(s)
+	c.cutoverMS.Observe(c.sched.NowMS() - start)
+	c.adaptations.Inc()
+	c.emit("adapted", s.Name, fmt.Sprintf("head %s -> %s", oldHead, s.HeadAddr()))
+}
+
+// cutover executes one staged reconfiguration. The invariant is
+// deploy-before-teardown: until the new chain is serving and the
+// bindings have flipped, the old deployment keeps running, so any
+// failure up to the flip leaves clients exactly where they were.
+func (c *Controller) cutover(s *Session, old *planner.Deployment, bindings []Flippable, diff *planner.Diff) error {
+	c.emit("stage", s.Name, "snapshot")
+	states := c.exec.Snapshot(old, diff)
+
+	c.emit("stage", s.Name, "deploy")
+	addr, err := c.exec.Deploy(diff, states)
+	if err != nil {
+		return fmt.Errorf("deploy: %v (old deployment still serving)", err)
+	}
+
+	if s.Service != "" {
+		c.emit("stage", s.Name, "publish")
+		if err := c.exec.Publish(s.Service, addr); err != nil {
+			return fmt.Errorf("publish: %v (old deployment still serving)", err)
+		}
+	}
+
+	c.emit("stage", s.Name, "flip")
+	for _, b := range bindings {
+		b.SetAddr(addr)
+	}
+	s.commit(diff.New, addr)
+
+	// Replaced instances drain before teardown: requests already past
+	// the flip may still be in flight through them.
+	remove := append([]planner.Placement(nil), diff.Remove...)
+	if len(remove) > 0 {
+		c.emit("stage", s.Name, "drain")
+		c.sched.After(c.cfg.DrainMS, func() {
+			c.exec.Discard(remove)
+			c.emit("stage", s.Name, "teardown")
+		})
+	}
+	return nil
+}
+
+func (c *Controller) scheduleRetry(s *Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || c.retryPending[s.Name] {
+		return
+	}
+	n := c.retryCount[s.Name]
+	if n >= c.cfg.MaxAdaptRetries {
+		return // give up until the network changes again
+	}
+	c.retryCount[s.Name] = n + 1
+	c.retryPending[s.Name] = true
+	delay := c.cfg.RetryBackoffMS * float64(int(1)<<n)
+	c.sched.After(delay, func() {
+		c.mu.Lock()
+		c.retryPending[s.Name] = false
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		c.adaptMu.Lock()
+		c.adaptSession(s)
+		c.adaptMu.Unlock()
+	})
+}
+
+func (c *Controller) clearRetry(s *Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.retryCount, s.Name)
+}
+
+// scheduleProbe arms the next heartbeat round.
+func (c *Controller) scheduleProbe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.probeCancel = c.sched.After(c.cfg.ProbeIntervalMS, c.probeRound)
+}
+
+// probeRound heartbeats every known control address. It holds no
+// controller lock while probing or reporting: reports re-enter the
+// controller synchronously through the monitor's notify path.
+func (c *Controller) probeRound() {
+	defer c.scheduleProbe()
+	targets := c.targets()
+	// Probe in sorted node order: map iteration order would make the
+	// simulated event sequence non-reproducible.
+	nodes := make([]netmodel.NodeID, 0, len(targets))
+	for node := range targets {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var declareDown, declareUp []netmodel.NodeID
+	for _, node := range nodes {
+		c.probesSent.Inc()
+		err := c.prober.Probe(node, targets[node], c.cfg.ProbeTimeoutMS)
+		c.mu.Lock()
+		if err != nil {
+			c.probesFailed.Inc()
+			c.suspicion[node]++
+			if c.suspicion[node] >= c.cfg.SuspicionThreshold && !c.reportedDown[node] {
+				c.reportedDown[node] = true
+				declareDown = append(declareDown, node)
+			}
+		} else {
+			c.suspicion[node] = 0
+			if c.reportedDown[node] {
+				delete(c.reportedDown, node)
+				declareUp = append(declareUp, node)
+			}
+		}
+		c.mu.Unlock()
+	}
+	for _, node := range declareDown {
+		c.emit("suspect", "", fmt.Sprintf("node %s unresponsive after %d probes", node, c.cfg.SuspicionThreshold))
+		_ = c.mon.ReportNodeDown(node)
+	}
+	for _, node := range declareUp {
+		_ = c.mon.ReportNodeUp(node)
+	}
+}
+
+func diffSummary(d *planner.Diff) string {
+	return fmt.Sprintf("install=%d remove=%d evicted=%d", len(d.Install), len(d.Remove), len(d.Evicted))
+}

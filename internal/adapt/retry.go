@@ -1,0 +1,237 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/smock"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// Flippable is a client binding the controller can repoint at a new
+// head address during a cutover (Figure 1's "replaces itself with a
+// service-specific proxy", made repeatable).
+type Flippable interface {
+	SetAddr(addr string)
+}
+
+// RetryConfig tunes the rebind endpoint's failure handling.
+type RetryConfig struct {
+	// MaxAttempts bounds the total tries per call (default 4).
+	MaxAttempts int
+	// BackoffMS is the delay before the first retry (default 10ms); each
+	// subsequent retry doubles it.
+	BackoffMS float64
+	// Sleep, when non-nil, replaces time.Sleep for the backoff delays
+	// (tests inject a recording or virtual-time sleeper).
+	Sleep func(ms float64)
+	// RetryResponse decides whether an application-level error response
+	// is worth retrying (default Transient). A request can reach a live
+	// relay whose own upstream died mid-cutover; the failure comes back
+	// as an error *response*, not a transport error, but rebinding still
+	// fixes it.
+	RetryResponse func(err error) bool
+}
+
+// Transient reports whether an error (possibly an application response
+// wrapping a relay's upstream failure) looks like a connectivity
+// problem that re-resolving and retrying can fix, rather than a real
+// application error.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	for _, marker := range []string{
+		"transport: ", // every transport sentinel (closed, no such address, timeout)
+		"connection refused", "connection reset", "broken pipe",
+		"use of closed network connection", "i/o timeout", "EOF",
+	} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffMS <= 0 {
+		c.BackoffMS = 10
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ms float64) { time.Sleep(time.Duration(ms * float64(time.Millisecond))) }
+	}
+	if c.RetryResponse == nil {
+		c.RetryResponse = Transient
+	}
+	return c
+}
+
+// RebindEndpoint is a transport.Endpoint that survives reconfiguration:
+// a call that fails at the transport level (closed listener, vanished
+// address, timeout) is retried with exponential backoff, re-resolving
+// the target address each time — against the lookup service, or
+// whatever the resolve function consults — and redialing. Application
+// errors (KindError responses) are never retried; they already prove
+// the service is reachable. The semantics during a cutover are
+// therefore at-least-once: a request that died mid-flight may execute
+// twice on the new instance.
+//
+// It also implements Flippable, so an adaptation controller can push
+// the new head address instead of waiting for a failure to trigger
+// re-resolution.
+type RebindEndpoint struct {
+	tr      transport.Transport
+	resolve func() (string, error)
+	cfg     RetryConfig
+	retries *metrics.Counter
+	rebinds *metrics.Counter
+
+	mu   sync.Mutex
+	addr string
+	ep   transport.Endpoint
+}
+
+// NewRebindEndpoint returns a rebind endpoint that dials addresses from
+// resolve on demand. resolve is consulted lazily — before the first
+// call and after every transport-level failure.
+func NewRebindEndpoint(tr transport.Transport, resolve func() (string, error), cfg RetryConfig) *RebindEndpoint {
+	return &RebindEndpoint{
+		tr: tr, resolve: resolve, cfg: cfg.withDefaults(),
+		retries: metrics.DefaultRegistry.Counter("adapt.retries"),
+		rebinds: metrics.DefaultRegistry.Counter("adapt.rebinds"),
+	}
+}
+
+// SetAddr implements Flippable: the next call dials addr.
+func (r *RebindEndpoint) SetAddr(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if addr == r.addr {
+		return
+	}
+	if r.ep != nil {
+		r.ep.Close()
+		r.ep = nil
+	}
+	r.addr = addr
+}
+
+// Addr returns the currently bound address ("" before the first call).
+func (r *RebindEndpoint) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
+
+// drop discards a failed endpoint so the next attempt re-resolves, but
+// only if no concurrent SetAddr or rebind replaced it already.
+func (r *RebindEndpoint) drop(failed transport.Endpoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ep == failed {
+		r.ep.Close()
+		r.ep = nil
+		r.addr = ""
+	}
+}
+
+// endpoint returns the live endpoint, resolving and dialing as needed.
+func (r *RebindEndpoint) endpoint() (transport.Endpoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ep != nil {
+		return r.ep, nil
+	}
+	if r.addr == "" {
+		addr, err := r.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("adapt: resolving target: %w", err)
+		}
+		r.addr = addr
+	}
+	ep, err := r.tr.Dial(r.addr)
+	if err != nil {
+		r.addr = "" // the resolved address is bad; re-resolve next time
+		return nil, err
+	}
+	r.ep = ep
+	return ep, nil
+}
+
+// Call implements transport.Endpoint.
+func (r *RebindEndpoint) Call(m *wire.Message) (*wire.Message, error) {
+	return r.CallContext(context.Background(), m)
+}
+
+// CallContext implements transport.ContextEndpoint with the retry
+// loop: transport-level failures re-resolve, redial, and try again
+// until the attempt budget or the context runs out.
+func (r *RebindEndpoint) CallContext(ctx context.Context, m *wire.Message) (*wire.Message, error) {
+	var lastErr error
+	backoff := r.cfg.BackoffMS
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Inc()
+			r.cfg.Sleep(backoff)
+			backoff *= 2
+			r.rebinds.Inc()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ep, err := r.endpoint()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := transport.Call(ctx, ep, m)
+		if err == nil {
+			// A live target can still relay a dead upstream's failure back
+			// as an error response; those rebind and retry like transport
+			// errors. Genuine application errors return immediately.
+			if appErr := transport.AsError(resp); appErr != nil && r.cfg.RetryResponse(appErr) {
+				lastErr = appErr
+				r.drop(ep)
+				continue
+			}
+			return resp, nil
+		}
+		lastErr = err
+		r.drop(ep)
+	}
+	return nil, fmt.Errorf("adapt: %d attempts failed: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// Close implements transport.Endpoint.
+func (r *RebindEndpoint) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ep != nil {
+		err := r.ep.Close()
+		r.ep = nil
+		return err
+	}
+	return nil
+}
+
+// LookupResolver returns a resolve function that re-Finds service in
+// the lookup on every resolution — the standard way a rebind endpoint
+// chases a service's head address across cutovers.
+func LookupResolver(l *smock.Lookup, service string) func() (string, error) {
+	return func() (string, error) {
+		entries := l.Find(service, nil)
+		if len(entries) == 0 {
+			return "", fmt.Errorf("adapt: no %q entry in lookup", service)
+		}
+		return entries[0].ServerAddr, nil
+	}
+}

@@ -1,0 +1,56 @@
+package adapt
+
+import (
+	"time"
+
+	"partsvc/internal/sim"
+	"partsvc/internal/transport"
+)
+
+// Scheduler abstracts delayed execution and time so the controller runs
+// identically on the wall clock (real deployments, TCP tests) and
+// inside the discrete-event simulator (benchmarks, fast timing tests).
+// It is transport.Clock plus the one extra capability an adaptation
+// loop needs: scheduling its own future work (probe rounds, debounce
+// expiry, drain timers, retry backoff).
+type Scheduler interface {
+	transport.Clock
+	// After runs fn once, delayMS milliseconds from now, and returns a
+	// cancel function reporting whether it prevented the callback.
+	After(delayMS float64, fn func()) (cancel func() bool)
+}
+
+// RealScheduler schedules on the wall clock via time.AfterFunc.
+// Callbacks run on their own goroutines.
+type RealScheduler struct{ clk *transport.RealClock }
+
+// NewRealScheduler returns a wall-clock scheduler.
+func NewRealScheduler() *RealScheduler {
+	return &RealScheduler{clk: transport.NewRealClock()}
+}
+
+// NowMS implements transport.Clock.
+func (s *RealScheduler) NowMS() float64 { return s.clk.NowMS() }
+
+// After implements Scheduler.
+func (s *RealScheduler) After(delayMS float64, fn func()) func() bool {
+	t := time.AfterFunc(time.Duration(delayMS*float64(time.Millisecond)), fn)
+	return t.Stop
+}
+
+// SimScheduler schedules on a simulation environment's virtual clock.
+// Callbacks run inline on the scheduler loop (sim.Env.After semantics):
+// they may schedule further events but must not block.
+type SimScheduler struct{ env *sim.Env }
+
+// NewSimScheduler wraps a simulation environment.
+func NewSimScheduler(env *sim.Env) *SimScheduler { return &SimScheduler{env: env} }
+
+// NowMS implements transport.Clock (virtual milliseconds).
+func (s *SimScheduler) NowMS() float64 { return s.env.Now() }
+
+// After implements Scheduler.
+func (s *SimScheduler) After(delayMS float64, fn func()) func() bool {
+	t := s.env.After(delayMS, fn)
+	return t.Stop
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/sim"
+)
+
+// FaultKind classifies a scripted failure.
+type FaultKind string
+
+const (
+	// FaultLinkDegrade reports new (worse) link figures through the
+	// monitor at the scripted time.
+	FaultLinkDegrade FaultKind = "link-degrade"
+	// FaultLinkDown severs a link: its reported latency/bandwidth become
+	// so bad that routing always prefers any detour.
+	FaultLinkDown FaultKind = "link-down"
+	// FaultNodeCrash silently kills a node. Nothing is reported to the
+	// monitor — crashes are only visible to heartbeat probes, so
+	// detecting one is the adaptation controller's job.
+	FaultNodeCrash FaultKind = "node-crash"
+)
+
+// A severed link is modeled as an absurdly slow one: routing avoids it
+// whenever any alternative exists, without needing topology surgery.
+const (
+	downLinkLatencyMS     = 1e9
+	downLinkBandwidthMbps = 1e-6
+)
+
+// Fault is one scripted failure at a virtual time.
+type Fault struct {
+	// AtMS is the virtual injection time.
+	AtMS float64
+	// Kind selects the failure mode.
+	Kind FaultKind
+	// A, B name the link for link faults.
+	A, B netmodel.NodeID
+	// Node is the crash target for node faults.
+	Node netmodel.NodeID
+	// LatencyMS and BandwidthMbps are the degraded figures for
+	// FaultLinkDegrade (ignored by the other kinds).
+	LatencyMS     float64
+	BandwidthMbps float64
+}
+
+// String renders the fault for scenario labels and logs.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultNodeCrash:
+		return fmt.Sprintf("%s %s @%gms", f.Kind, f.Node, f.AtMS)
+	case FaultLinkDegrade:
+		return fmt.Sprintf("%s %s~%s -> %gms @%gms", f.Kind, f.A, f.B, f.LatencyMS, f.AtMS)
+	default:
+		return fmt.Sprintf("%s %s~%s @%gms", f.Kind, f.A, f.B, f.AtMS)
+	}
+}
+
+// FaultScript is an ordered set of faults to inject during a run.
+type FaultScript []Fault
+
+// Schedule arms every fault on the environment's virtual clock. Link
+// faults report through the monitor — the monitoring substrate observes
+// link quality directly. Node crashes only invoke the crash callback
+// (which should make the node's probe targets unresponsive); they are
+// deliberately NOT reported to the monitor, so the run exercises the
+// controller's failure detector end to end.
+func (fs FaultScript) Schedule(env *sim.Env, mon *netmon.Monitor, crash func(netmodel.NodeID)) {
+	for _, f := range fs {
+		f := f
+		env.At(f.AtMS, func() {
+			switch f.Kind {
+			case FaultLinkDegrade:
+				_ = mon.ReportLink(f.A, f.B, f.LatencyMS, f.BandwidthMbps, nil)
+			case FaultLinkDown:
+				_ = mon.ReportLink(f.A, f.B, downLinkLatencyMS, downLinkBandwidthMbps, nil)
+			case FaultNodeCrash:
+				if crash != nil {
+					crash(f.Node)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// TestFig8Adapts: every scenario must show the full adaptation story —
+// a clean steady state, a visible outage, detection, a cutover, and a
+// recovered (if pricier) post-adaptation latency.
+func TestFig8Adapts(t *testing.T) {
+	cfg := DefaultFig8Config()
+	rows := RunFig8(cfg)
+	if len(rows) != len(Fig8Scenarios(cfg)) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SteadyMS <= 0 || r.Sends == 0 {
+			t.Errorf("%s: no steady-state traffic (steady=%.2f sends=%d)", r.Scenario, r.SteadyMS, r.Sends)
+		}
+		if r.DetectMS < 0 {
+			t.Errorf("%s: fault never detected", r.Scenario)
+		}
+		if r.CutoverMS < 0 {
+			t.Errorf("%s: adaptation never completed", r.Scenario)
+		}
+		if r.DuringMS <= r.SteadyMS {
+			t.Errorf("%s: the fault must be visible (during=%.2f steady=%.2f)", r.Scenario, r.DuringMS, r.SteadyMS)
+		}
+		if r.PostMS <= 0 || r.PostMS >= r.DuringMS {
+			t.Errorf("%s: adaptation must recover latency (post=%.2f during=%.2f)", r.Scenario, r.PostMS, r.DuringMS)
+		}
+	}
+	// The node crash must pay the failure detector's suspicion window;
+	// link faults are observed directly by the monitor.
+	byName := map[string]Fig8Row{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	if nc, ld := byName["node-crash"], byName["link-degrade"]; nc.DetectMS <= ld.DetectMS {
+		t.Errorf("node-crash detection (%.2f) should be slower than link-degrade (%.2f)",
+			nc.DetectMS, ld.DetectMS)
+	}
+}
+
+// TestFig8Deterministic: the rendered table is byte-identical across
+// repeated runs and across sweep worker counts — scripted faults fire
+// at virtual times and the controller runs on the virtual clock, so
+// parallelism must not leak into the results.
+func TestFig8Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated full runs")
+	}
+	cfg := DefaultFig8Config()
+	cfg.Workers = 1
+	serial := Fig8Table(RunFig8(cfg))
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		if got := Fig8Table(RunFig8(cfg)); got != serial {
+			t.Fatalf("workers=%d diverged:\n%s\nwant:\n%s", workers, got, serial)
+		}
+	}
+}

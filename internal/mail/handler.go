@@ -87,6 +87,16 @@ func dispatch(ctx context.Context, api Upstream, m *wire.Message) (map[string]an
 			batch = append(batch, u)
 		}
 		return map[string]any{}, PushUpdatesCtx(ctx, api, batch)
+	case "snapshot":
+		sn, ok := api.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("mail: %T holds no migratable state", api)
+		}
+		state, err := sn.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"state": state}, nil
 	default:
 		return nil, fmt.Errorf("mail: unknown method %q", m.Method)
 	}
@@ -242,6 +252,40 @@ func (r *Remote) Contacts(user string) ([]string, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// Snapshotter is implemented by stateful mail components (Server, View)
+// whose store can be serialized for migration. Relay components
+// (encryptor, decryptor, client proxy) do not implement it: they hold
+// no state worth carrying across a cutover.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+}
+
+// Snapshot fetches the remote instance's serialized store state (the
+// "snapshot" method). Stateless instances answer with an error.
+func (r *Remote) Snapshot() ([]byte, error) {
+	reply, err := r.call(context.Background(), "snapshot", map[string]any{})
+	if err != nil {
+		return nil, err
+	}
+	state, _ := reply["state"].([]byte)
+	if state == nil {
+		return nil, fmt.Errorf("mail: snapshot reply carried no state")
+	}
+	return state, nil
+}
+
+// SnapshotRemote dials addr on tr and fetches that instance's state
+// snapshot — the adaptation controller's state-capture primitive.
+func SnapshotRemote(tr transport.Transport, addr string) ([]byte, error) {
+	ep, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRemote(ep)
+	defer r.Close()
+	return r.Snapshot()
 }
 
 // PushUpdates implements UpdateSink.

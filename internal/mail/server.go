@@ -72,6 +72,9 @@ func (s *Server) Keys() *seccrypto.KeyRing { return s.keys }
 // Store exposes the primary store (read-mostly, for tests and tools).
 func (s *Server) Store() *Store { return s.store }
 
+// Snapshot serializes the primary store for migration (Snapshotter).
+func (s *Server) Snapshot() ([]byte, error) { return s.store.Snapshot() }
+
 // CreateAccount provisions the user and generates per-level keys
 // (account-setup key generation, Section 2).
 func (s *Server) CreateAccount(user string) error {

@@ -273,6 +273,17 @@ func (v *View) FlushIfDue() (bool, error) {
 // Pending returns the number of unpropagated local writes.
 func (v *View) Pending() int { return v.replica.Pending() }
 
+// Snapshot flushes pending writes upstream, then serializes the view's
+// store for migration (Snapshotter): the snapshot is coherent — nothing
+// in it is still waiting to propagate — so a successor seeded from it
+// starts with no invisible writes.
+func (v *View) Snapshot() ([]byte, error) {
+	if err := v.Flush(); err != nil {
+		return nil, fmt.Errorf("mail: pre-snapshot flush: %w", err)
+	}
+	return v.store.Snapshot()
+}
+
 // PushUpdates lets this view serve as the upstream of another view
 // (the Seattle-to-San-Diego chaining of Figure 6): the batch is applied
 // locally (subject to the sensitivity ceiling) and forwarded toward the

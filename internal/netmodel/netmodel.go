@@ -37,6 +37,11 @@ type Node struct {
 	// translation (e.g. TrustLevel=4). Conditions and factored
 	// expressions evaluate against this set.
 	Props property.Set
+	// Down marks the node as crashed or unreachable, as reported by a
+	// monitoring substrate (netmon.Monitor.ReportNodeDown). A down node
+	// cannot host placements, cannot forward traffic (routing treats its
+	// links as absent), and fails revalidation of instances placed on it.
+	Down bool
 }
 
 // Link is a (bidirectional) network link between two nodes.
@@ -325,10 +330,10 @@ func (n *Network) ShortestPath(from, to NodeID) (Path, bool) {
 // (linear extraction over maps). The route cache must agree with it
 // path-for-path; tests assert that equivalence.
 func (n *Network) shortestPathUncached(from, to NodeID) (Path, bool) {
-	if _, exists := n.nodes[from]; !exists {
+	if src, exists := n.nodes[from]; !exists || src.Down {
 		return Path{}, false
 	}
-	if _, exists := n.nodes[to]; !exists {
+	if dst, exists := n.nodes[to]; !exists || dst.Down {
 		return Path{}, false
 	}
 	if from == to {
@@ -360,7 +365,9 @@ func (n *Network) shortestPathUncached(from, to NodeID) (Path, bool) {
 		}
 		visited[cur] = true
 		for _, nb := range n.adj[cur] {
-			if visited[nb] {
+			// A down node cannot forward or terminate traffic: its links
+			// are absent from routing.
+			if visited[nb] || n.nodes[nb].Down {
 				continue
 			}
 			l, _ := n.Link(cur, nb)

@@ -27,8 +27,9 @@ import (
 type RouteCache struct {
 	epoch uint64
 
-	ids []NodeID         // dense index -> node ID, sorted by ID
-	idx map[NodeID]int32 // node ID -> dense index
+	ids  []NodeID         // dense index -> node ID, sorted by ID
+	idx  map[NodeID]int32 // node ID -> dense index
+	down []bool           // per dense index: node was down at interning time
 
 	// CSR adjacency over dense indices.
 	adjStart []int32
@@ -62,25 +63,44 @@ func newRouteCache(n *Network, epoch uint64) *RouteCache {
 		epoch:    epoch,
 		ids:      make([]NodeID, len(nodes)),
 		idx:      make(map[NodeID]int32, len(nodes)),
+		down:     make([]bool, len(nodes)),
 		loopback: make([]Path, len(nodes)),
 		trees:    make([]*spTree, len(nodes)),
 	}
 	for i, node := range nodes {
 		rc.ids[i] = node.ID
 		rc.idx[node.ID] = int32(i)
+		rc.down[i] = node.Down
 		rc.loopback[i] = Path{Nodes: rc.ids[i : i+1], BottleneckMbps: math.Inf(1)}
 	}
+	// Edges touching a down node are absent from the interned adjacency:
+	// a crashed node neither forwards nor terminates traffic. The CSR
+	// counts are computed over the same filter.
 	rc.adjStart = make([]int32, len(nodes)+1)
 	for i, id := range rc.ids {
-		rc.adjStart[i+1] = rc.adjStart[i] + int32(len(n.adj[id]))
+		kept := 0
+		if !rc.down[i] {
+			for _, nb := range n.adj[id] {
+				if !n.nodes[nb].Down {
+					kept++
+				}
+			}
+		}
+		rc.adjStart[i+1] = rc.adjStart[i] + int32(kept)
 	}
 	total := rc.adjStart[len(nodes)]
 	rc.adjNode = make([]int32, 0, total)
 	rc.adjLat = make([]float64, 0, total)
 	rc.adjBW = make([]float64, 0, total)
 	rc.adjProps = make([]property.Set, 0, total)
-	for _, id := range rc.ids {
+	for i, id := range rc.ids {
+		if rc.down[i] {
+			continue
+		}
 		for _, nb := range n.adj[id] {
+			if n.nodes[nb].Down {
+				continue
+			}
 			l, _ := n.Link(id, nb)
 			rc.adjNode = append(rc.adjNode, rc.idx[nb])
 			rc.adjLat = append(rc.adjLat, l.LatencyMS)
@@ -128,6 +148,9 @@ func (rc *RouteCache) PathEnv(from, to NodeID) (Path, property.Set, bool) {
 	}
 	ti, ok := rc.idx[to]
 	if !ok {
+		return Path{}, nil, false
+	}
+	if rc.down[fi] || rc.down[ti] {
 		return Path{}, nil, false
 	}
 	if fi == ti {

@@ -104,6 +104,41 @@ func (m *Monitor) ReportNodeProps(id netmodel.NodeID, props property.Set) error 
 	return nil
 }
 
+// ReportNodeDown marks a node as crashed/unreachable and notifies
+// subscribers. Down nodes cannot host placements and their links drop
+// out of routing; an adaptation loop replanning from the notification
+// evicts every instance placed there. Reporting an already-down node is
+// a no-op (failure detectors may confirm a suspicion many times).
+func (m *Monitor) ReportNodeDown(id netmodel.NodeID) error {
+	return m.reportLiveness(id, true)
+}
+
+// ReportNodeUp clears a node's down mark (the node rejoined the
+// network) and notifies subscribers.
+func (m *Monitor) ReportNodeUp(id netmodel.NodeID) error {
+	return m.reportLiveness(id, false)
+}
+
+func (m *Monitor) reportLiveness(id netmodel.NodeID, down bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.net.Node(id)
+	if !ok {
+		return fmt.Errorf("netmon: unknown node %q", id)
+	}
+	if node.Down == down {
+		return nil
+	}
+	node.Down = down
+	// The change is rendered as the node's "up" state: before the
+	// transition the node was up exactly when it is now going down.
+	m.notify([]Change{{
+		Kind: "node", Subject: string(id), Field: "up",
+		Old: fmt.Sprint(down), New: fmt.Sprint(!down),
+	}})
+	return nil
+}
+
 // ReportLink applies new link characteristics. Negative latency or
 // bandwidth values mean "unchanged"; secure may be nil for unchanged.
 func (m *Monitor) ReportLink(a, b netmodel.NodeID, latencyMS, bandwidthMbps float64, secure *bool) error {

@@ -107,7 +107,7 @@ func (pl *Planner) mapChain(chain Chain, req Request) *Deployment {
 // user credential is visible to the head component's conditions only.
 func (pl *Planner) placementFor(comp spec.Component, node netmodel.NodeID, req Request, pos int) (Placement, bool) {
 	n, ok := pl.Net.Node(node)
-	if !ok {
+	if !ok || n.Down {
 		return Placement{}, false
 	}
 	sc := property.Scope{Node: n.Props}

@@ -439,6 +439,28 @@ func (pl *Planner) AddExisting(placements ...Placement) {
 	}
 }
 
+// DropExisting forgets instances (matched by Key) so subsequent plans
+// cannot reuse them — the counterpart of AddExisting for teardown: a
+// plan that reused a torn-down instance would fail at the engine.
+func (pl *Planner) DropExisting(placements ...Placement) {
+	for _, p := range placements {
+		pl.DropExistingByKey(p.Key())
+	}
+}
+
+// DropExistingByKey is DropExisting for callers that only hold
+// placement keys (e.g. the engine's wiring-orphan report).
+func (pl *Planner) DropExistingByKey(keys ...string) {
+	for _, key := range keys {
+		for i := range pl.Existing {
+			if pl.Existing[i].Key() == key {
+				pl.Existing = append(pl.Existing[:i], pl.Existing[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // PrimaryPlacement builds the Placement for a component pre-deployed by
 // the service owner (e.g. the primary MailServer in New York), deriving
 // its offered properties from its first implemented interface evaluated

@@ -66,7 +66,7 @@ func (pl *Planner) stillValid(p Placement) bool {
 		return false
 	}
 	n, ok := pl.Net.Node(p.Node)
-	if !ok {
+	if !ok || n.Down {
 		return false
 	}
 	sc := property.Scope{Node: n.Props}
@@ -130,6 +130,71 @@ func (pl *Planner) Replan(old *Deployment, req Request) (*Diff, error) {
 		}
 	}
 	return diff, nil
+}
+
+// ReplanRewire runs Replan and, when the result is a no-op, checks
+// whether the network change moved the latency optimum away from
+// wiring that reuse keeps frozen. Revalidation is validity-scoped
+// (node death, condition violations); a link that merely degraded
+// evicts nothing, and the anchor cut then reuses the old chain
+// wholesale — a no-op diff even though a better wiring now exists.
+// The rewire check re-plans with the old deployment's own wiring
+// (everything before its tail — the tail may be shared standing
+// infrastructure such as the primary or another session's view)
+// removed from the reuse set, so the planner costs every chain shape
+// afresh under current routes. The result is adopted only when it
+// places differently; otherwise the reuse set is restored and the
+// no-op diff returned. Same-key placements in an adopted rewire land
+// in Install (the engine reinstalls them in place, carrying state),
+// and Remove is restricted to the dropped wiring so shared tails keep
+// running.
+func (pl *Planner) ReplanRewire(old *Deployment, req Request) (*Diff, error) {
+	diff, err := pl.Replan(old, req)
+	if err != nil {
+		return nil, err
+	}
+	if old == nil || len(old.Placements) < 2 || !diff.Unchanged() || len(diff.Evicted) > 0 {
+		return diff, nil
+	}
+	own := old.Placements[:len(old.Placements)-1]
+	dropped := map[string]bool{}
+	keys := make([]string, 0, len(own))
+	for _, p := range own {
+		dropped[p.Key()] = true
+		keys = append(keys, p.Key())
+	}
+	pl.DropExistingByKey(keys...)
+	fresh, err := pl.Replan(old, req)
+	if err != nil || sameDeploymentKeys(fresh.New, old) {
+		pl.AddExisting(own...)
+		return diff, nil
+	}
+	kept := fresh.Remove[:0]
+	for _, p := range fresh.Remove {
+		if dropped[p.Key()] {
+			kept = append(kept, p)
+		}
+	}
+	fresh.Remove = kept
+	return fresh, nil
+}
+
+// sameDeploymentKeys reports whether two deployments place the same
+// instances (same placement-key sets).
+func sameDeploymentKeys(a, b *Deployment) bool {
+	if a == nil || b == nil || len(a.Placements) != len(b.Placements) {
+		return false
+	}
+	keys := map[string]bool{}
+	for _, p := range a.Placements {
+		keys[p.Key()] = true
+	}
+	for _, p := range b.Placements {
+		if !keys[p.Key()] {
+			return false
+		}
+	}
+	return true
 }
 
 // Verify independently validates a deployment against a request under

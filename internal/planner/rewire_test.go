@@ -1,0 +1,127 @@
+package planner
+
+import (
+	"testing"
+
+	"partsvc/internal/netmon"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// rewireWorld bootstraps the fig8/case-study planning state: the NY
+// primary, a warm San Diego chain, and a Seattle deployment whose
+// interior wiring crosses the SD–Seattle link.
+func rewireWorld(t *testing.T) (*Planner, *netmon.Monitor, *Deployment, Request) {
+	t.Helper()
+	net := topology.CaseStudy()
+	mon := netmon.New(net)
+	pl := New(spec.MailService(), net)
+	primary, err := pl.PrimaryPlacement(spec.CompMailServer, topology.NYServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(primary)
+	warm := Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50}
+	warmDep, err := pl.Plan(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(warmDep.Placements...)
+	req := Request{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50}
+	dep, err := pl.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.AddExisting(dep.Placements...)
+	return pl, mon, dep, req
+}
+
+func existingKeys(pl *Planner) map[string]bool {
+	keys := map[string]bool{}
+	for _, p := range pl.Existing {
+		keys[p.Key()] = true
+	}
+	return keys
+}
+
+// TestReplanRewireNoopOnStableNetwork: when nothing changed, the rewire
+// check must conclude the current wiring is still optimal, return the
+// plain no-op diff, and leave the reuse set exactly as it found it.
+func TestReplanRewireNoopOnStableNetwork(t *testing.T) {
+	pl, _, dep, req := rewireWorld(t)
+	before := existingKeys(pl)
+	diff, err := pl.ReplanRewire(dep, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Unchanged() || len(diff.Evicted) != 0 {
+		t.Fatalf("stable network must be a no-op, got install=%d remove=%d evicted=%d",
+			len(diff.Install), len(diff.Remove), len(diff.Evicted))
+	}
+	after := existingKeys(pl)
+	if len(after) != len(before) {
+		t.Fatalf("reuse set changed size: %d -> %d", len(before), len(after))
+	}
+	for k := range before {
+		if !after[k] {
+			t.Errorf("reuse entry %s lost by the rewire check", k)
+		}
+	}
+}
+
+// TestReplanRewireMovesDegradedWiring: degrading the SD–Seattle link
+// evicts nothing (revalidation is validity-scoped), but the Seattle
+// chain's decryptor-to-anchor hop now routes the long way around; the
+// rewire check must notice and produce a diff that re-wires the chain
+// off the degraded link, removing only the session's own wiring.
+func TestReplanRewireMovesDegradedWiring(t *testing.T) {
+	pl, mon, dep, req := rewireWorld(t)
+	ownKeys := map[string]bool{}
+	for _, p := range dep.Placements[:len(dep.Placements)-1] {
+		ownKeys[p.Key()] = true
+	}
+	tail := dep.Placements[len(dep.Placements)-1]
+	onSD := false
+	for _, p := range dep.Placements {
+		if p.Node == topology.SDClient {
+			onSD = true
+		}
+	}
+	if !onSD {
+		t.Fatalf("Seattle chain should wire through sd-2: %s", dep)
+	}
+	if err := mon.ReportLink(topology.SDGateway, topology.SeaGW, 1500, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := pl.ReplanRewire(dep, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Unchanged() {
+		t.Fatal("degraded interior link must trigger a rewire")
+	}
+	if len(diff.Evicted) != 0 {
+		t.Fatalf("a degrade evicts nothing, got %v", diff.Evicted)
+	}
+	for _, p := range diff.New.Placements {
+		if p.Node == topology.SDClient && p.Component == spec.CompDecryptor {
+			t.Fatalf("rewired chain still decrypts behind the degraded link: %s", diff.New)
+		}
+	}
+	for _, p := range diff.Remove {
+		if !ownKeys[p.Key()] {
+			t.Errorf("Remove contains %s, which is not the session's own wiring", p.Key())
+		}
+		if p.Key() == tail.Key() {
+			t.Errorf("shared tail %s must keep running", tail.Key())
+		}
+	}
+	if len(diff.Remove) == 0 {
+		t.Fatal("the abandoned decryptor should be removed")
+	}
+	// The shared tail (another session's view) must survive in the
+	// reuse set even though the rewired chain no longer uses it.
+	if !existingKeys(pl)[tail.Key()] {
+		t.Fatalf("shared tail %s dropped from the reuse set", tail.Key())
+	}
+}

@@ -3,6 +3,7 @@ package smock
 import (
 	"crypto/rand"
 	"fmt"
+	"sort"
 	"sync"
 
 	"partsvc/internal/netmodel"
@@ -16,12 +17,21 @@ import (
 type Engine struct {
 	tr transport.Transport
 
+	// applyMu serializes whole adaptation diffs: two concurrent Apply
+	// calls must never interleave their teardown and deploy phases over
+	// the same placements (e.mu only makes the individual phases atomic).
+	applyMu    sync.Mutex
+	generation int // completed Apply count, read via Generation
+
 	mu       sync.Mutex
 	wrappers map[netmodel.NodeID]*NodeWrapper
 	// instances tracks live instances by placement key so reused
 	// placements resolve to their existing address and edge secret.
 	instances map[string]instanceInfo
 	counter   int
+	// lookup, when set, is deregistered on teardown so stale entries
+	// never outlive their instances.
+	lookup *Lookup
 }
 
 type instanceInfo struct {
@@ -51,6 +61,98 @@ func (e *Engine) RegisterWrapper(w *NodeWrapper) {
 	e.wrappers[w.Node()] = w
 }
 
+// SetLookup attaches a lookup service: Teardown will deregister every
+// entry bound to a torn-down instance's address, so the namespace never
+// points at dead listeners.
+func (e *Engine) SetLookup(l *Lookup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lookup = l
+}
+
+// Generation returns the number of adaptation diffs applied so far.
+// Concurrent adapters can use it as an optimistic check: observe the
+// generation, plan, and skip the apply if another diff landed meanwhile.
+func (e *Engine) Generation() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.generation
+}
+
+// InstanceStatus describes one live instance for monitoring: the
+// placement key it realizes, where it runs, and its serving address.
+type InstanceStatus struct {
+	Key     string
+	Node    netmodel.NodeID
+	Addr    string
+	Adopted bool
+}
+
+// LiveInstances snapshots the engine's live instances (adopted ones
+// included), in no particular order. Failure detectors use this to know
+// which nodes currently matter.
+func (e *Engine) LiveInstances() []InstanceStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]InstanceStatus, 0, len(e.instances))
+	for key, info := range e.instances {
+		out = append(out, InstanceStatus{
+			Key: key, Node: info.node, Addr: info.addr, Adopted: info.instanceID == "",
+		})
+	}
+	return out
+}
+
+// OrphanedBy returns the placement keys (sorted) of live instances
+// whose upstream wiring chains transitively through any of the dead
+// placements. An orphan is installed and answering, but every request
+// it forwards hits a dead provider — so a planner must not anchor a
+// new chain at it; it has to be re-planned (and re-wired) explicitly.
+func (e *Engine) OrphanedBy(dead []planner.Placement) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	deadAddrs := map[string]bool{}
+	for _, p := range dead {
+		if info, ok := e.instances[p.Key()]; ok {
+			deadAddrs[info.addr] = true
+		}
+	}
+	if len(deadAddrs) == 0 {
+		return nil
+	}
+	var orphans []string
+	for changed := true; changed; {
+		changed = false
+		for key, info := range e.instances {
+			if deadAddrs[info.addr] || info.upstreamAddr == "" || !deadAddrs[info.upstreamAddr] {
+				continue
+			}
+			deadAddrs[info.addr] = true
+			orphans = append(orphans, key)
+			changed = true
+		}
+	}
+	sort.Strings(orphans)
+	return orphans
+}
+
+// ControlAddrs returns the wrapper control address of every registered
+// node that serves one (see NodeWrapper.ServeControl). These are the
+// probe targets for active failure detection: a wrapper answers for its
+// node regardless of which components it currently hosts, so probe
+// failures blame the node, not a component whose upstream died.
+func (e *Engine) ControlAddrs() map[netmodel.NodeID]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[netmodel.NodeID]string{}
+	for id, w := range e.wrappers {
+		if addr := w.ControlAddr(); addr != "" {
+			out[id] = addr
+		}
+	}
+	return out
+}
+
 // AdoptInstance records a pre-deployed instance (e.g. the primary
 // MailServer) so plans can link to it.
 func (e *Engine) AdoptInstance(p planner.Placement, addr string) {
@@ -70,6 +172,9 @@ func (e *Engine) Teardown(p planner.Placement) error {
 		return fmt.Errorf("smock: no instance for %s", key)
 	}
 	delete(e.instances, key)
+	if e.lookup != nil {
+		e.lookup.DeregisterAddr(info.addr)
+	}
 	if info.instanceID == "" {
 		return nil // adopted; its owner uninstalls it
 	}
@@ -90,12 +195,37 @@ func (e *Engine) Teardown(p planner.Placement) error {
 // of components as well as any partially processed requests"). It
 // returns the new head address.
 func (e *Engine) Apply(diff *planner.Diff, svcRequires func(component string) (iface string, ok bool)) (string, error) {
+	return e.ApplyWith(diff, svcRequires, ApplyOptions{})
+}
+
+// ApplyOptions customize how a diff is realized.
+type ApplyOptions struct {
+	// StateFor, when non-nil, supplies a serialized state snapshot for a
+	// placement about to be installed (nil means install stateless). The
+	// adaptation controller uses this to carry component state captured
+	// from a predecessor instance across a cutover.
+	StateFor func(p planner.Placement) []byte
+}
+
+// ApplyWith is Apply with options. Whole diffs are serialized per
+// engine: concurrent callers queue on an apply lock so two adaptations
+// can never interleave their teardown and deploy phases.
+func (e *Engine) ApplyWith(diff *planner.Diff, svcRequires func(component string) (iface string, ok bool), opts ApplyOptions) (string, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
 	for _, p := range diff.Evicted {
 		// Teardown is best-effort: the instance's node may already have
 		// left the network.
 		_ = e.Teardown(p)
 	}
-	return e.Execute(diff.New, svcRequires)
+	addr, err := e.executeWith(diff.New, svcRequires, opts.StateFor)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.generation++
+	e.mu.Unlock()
+	return addr, nil
 }
 
 // AddrOf resolves a placement to its live instance address.
@@ -118,6 +248,12 @@ func (e *Engine) InstanceCount() int {
 // service-specific proxy target). Reused placements resolve to their
 // recorded addresses.
 func (e *Engine) Execute(dep *planner.Deployment, svcRequires func(component string) (iface string, ok bool)) (string, error) {
+	return e.executeWith(dep, svcRequires, nil)
+}
+
+// executeWith is Execute with an optional state source for fresh
+// installs (including the stale-rewire replacement path).
+func (e *Engine) executeWith(dep *planner.Deployment, svcRequires func(component string) (iface string, ok bool), stateFor func(p planner.Placement) []byte) (string, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n := len(dep.Placements)
@@ -167,6 +303,9 @@ func (e *Engine) Execute(dep *planner.Deployment, svcRequires func(component str
 			Config:          p.Config,
 			Upstreams:       map[string]string{},
 			UpstreamSecrets: map[string][]byte{},
+		}
+		if stateFor != nil {
+			order.State = stateFor(p)
 		}
 		var serveSecret []byte
 		if i > 0 {

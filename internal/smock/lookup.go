@@ -48,6 +48,47 @@ func (l *Lookup) Register(e Entry) error {
 	return nil
 }
 
+// Deregister removes the entry registered under a service name,
+// reporting whether one existed. A torn-down service must disappear
+// from the namespace, or clients would keep downloading proxies bound
+// to dead addresses.
+func (l *Lookup) Deregister(service string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		if l.entries[i].Service == service {
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// DeregisterAddr removes every entry whose ServerAddr equals addr and
+// returns how many were dropped. The deployment engine calls this from
+// Teardown so a torn-down instance's address can no longer be found.
+func (l *Lookup) DeregisterAddr(addr string) int {
+	if addr == "" {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.entries[:0]
+	removed := 0
+	for _, e := range l.entries {
+		if e.ServerAddr == addr {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	l.entries = kept
+	return removed
+}
+
 // Find returns the entries whose attributes contain every given
 // attribute (empty attrs match everything). Service name, when
 // non-empty, must match exactly.
@@ -74,9 +115,10 @@ func (l *Lookup) Find(service string, attrs map[string]string) []Entry {
 }
 
 // Handler exposes the lookup service over a transport: method
-// "register" with meta {service, addr, attr.<k>: v}, and method
-// "lookup" with meta {service?, attr.<k>: v} returning meta
-// {addr, service} of the first match.
+// "register" with meta {service, addr, attr.<k>: v}, method
+// "deregister" with meta {service}, and method "lookup" with meta
+// {service?, attr.<k>: v} returning meta {addr, service} of the first
+// match.
 func (l *Lookup) Handler() transport.Handler {
 	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
 		attrs := map[string]string{}
@@ -92,6 +134,12 @@ func (l *Lookup) Handler() transport.Handler {
 				return transport.ErrorResponse(m, "%v", err)
 			}
 			return &wire.Message{Kind: wire.KindResponse, ID: m.ID}
+		case "deregister":
+			removed := l.Deregister(m.Meta["service"])
+			return &wire.Message{
+				Kind: wire.KindResponse, ID: m.ID,
+				Meta: map[string]string{"removed": fmt.Sprint(removed)},
+			}
 		case "lookup":
 			found := l.Find(m.Meta["service"], attrs)
 			if len(found) == 0 {

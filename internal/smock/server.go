@@ -46,19 +46,78 @@ func (g *GenericServer) Access(req planner.Request) (string, *planner.Deployment
 	if err != nil {
 		return "", nil, err
 	}
-	addr, err := g.engine.Execute(dep, func(component string) (string, bool) {
-		comp, ok := g.svc.Component(component)
-		if !ok || len(comp.Requires) == 0 {
-			return "", false
-		}
-		return comp.Requires[0].Name, true
-	})
+	addr, err := g.engine.Execute(dep, g.Requires)
 	if err != nil {
 		return "", nil, err
 	}
 	// Future requests may reuse and link to what was just deployed.
 	g.pl.AddExisting(dep.Placements...)
 	return addr, dep, nil
+}
+
+// Requires resolves a component's required interface name — the
+// engine's wiring callback. The specification is immutable, so no lock
+// is needed.
+func (g *GenericServer) Requires(component string) (string, bool) {
+	comp, ok := g.svc.Component(component)
+	if !ok || len(comp.Requires) == 0 {
+		return "", false
+	}
+	return comp.Requires[0].Name, true
+}
+
+// Replan runs the planner's revalidate-and-replan under the server's
+// planner lock, so an adaptation controller and client access requests
+// serialize on the same planner state.
+//
+// Eviction can orphan live instances: still valid where they run, but
+// wired (transitively) through an evicted provider, so every request
+// they forward hits a dead address. The planner must not anchor a new
+// chain at an orphan; when the engine reports any, they are dropped
+// from the reuse set and the plan is recomputed so the whole chain
+// downstream of the break is planned — and therefore re-wired —
+// afresh. Orphans are not torn down here: the engine replaces same-key
+// instances in place (carrying their state), and any orphan the new
+// plan abandons lands in Remove for the normal drain-then-discard
+// path.
+//
+// The no-op case goes through the planner's rewire check
+// (ReplanRewire): a network change that invalidates nothing may still
+// have moved the latency optimum away from wiring the anchor cut
+// keeps frozen (a degraded interior link); the session is then
+// re-wired to the freshly optimal chain.
+func (g *GenericServer) Replan(old *planner.Deployment, req planner.Request) (*planner.Diff, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	diff, err := g.pl.ReplanRewire(old, req)
+	if err != nil {
+		return nil, err
+	}
+	if orphans := g.engine.OrphanedBy(diff.Evicted); len(orphans) > 0 {
+		g.pl.DropExistingByKey(orphans...)
+		diff2, err := g.pl.Replan(old, req)
+		if err != nil {
+			return nil, err
+		}
+		diff2.Evicted = append(diff.Evicted, diff2.Evicted...)
+		return diff2, nil
+	}
+	return diff, nil
+}
+
+// NoteDeployed registers an adaptation's fresh placements for reuse by
+// future access requests.
+func (g *GenericServer) NoteDeployed(dep *planner.Deployment) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pl.AddExisting(dep.Placements...)
+}
+
+// Forget drops torn-down placements from the planner's reuse set.
+func (g *GenericServer) Forget(placements ...planner.Placement) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pl.DropExisting(placements...)
 }
 
 // Handler serves Access over a transport. Request meta: interface,

@@ -39,9 +39,11 @@ type NodeWrapper struct {
 	reg  *Registry
 	clk  transport.Clock
 
-	mu        sync.Mutex
-	listeners map[string]transport.Listener // instanceID -> listener
-	addrs     map[string]string             // instanceID -> address
+	mu          sync.Mutex
+	listeners   map[string]transport.Listener // instanceID -> listener
+	addrs       map[string]string             // instanceID -> address
+	control     transport.Listener            // ServeControl listener, if any
+	controlAddr string                        // survives Close: probes must keep targeting a crashed node
 }
 
 // NewNodeWrapper returns a wrapper for one node.
@@ -124,7 +126,8 @@ func (w *NodeWrapper) Uninstall(instanceID string) error {
 	return ln.Close()
 }
 
-// Close stops all hosted instances.
+// Close stops all hosted instances and the control listener: the whole
+// node goes dark, exactly what a crash looks like from the outside.
 func (w *NodeWrapper) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -133,13 +136,58 @@ func (w *NodeWrapper) Close() error {
 		delete(w.listeners, id)
 		delete(w.addrs, id)
 	}
+	if w.control != nil {
+		w.control.Close()
+		w.control = nil
+	}
 	return nil
 }
 
+// ServeControl serves the wrapper's own handler (remote installs and
+// status probes) on the node's transport and returns its address. This
+// is the per-node probe target for failure detection: any answer means
+// the node is alive, independent of which components it hosts. Calling
+// it again returns the existing address.
+func (w *NodeWrapper) ServeControl() (string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.control != nil {
+		return w.controlAddr, nil
+	}
+	ln, err := w.tr.Serve("", w.Handler())
+	if err != nil {
+		return "", fmt.Errorf("smock: wrapper %s: serving control: %w", w.node, err)
+	}
+	w.control = ln
+	w.controlAddr = ln.Addr()
+	return w.controlAddr, nil
+}
+
+// ControlAddr returns the control address, or "" if ServeControl was
+// never called. It keeps answering after Close: a failure detector must
+// go on probing a crashed node's last known address — that the probes
+// now fail is exactly the signal.
+func (w *NodeWrapper) ControlAddr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.controlAddr
+}
+
 // Handler exposes the wrapper itself over the transport: KindInstall
-// messages carry encoded install orders (remote installation).
+// messages carry encoded install orders (remote installation), and
+// "status" requests answer liveness probes with the node name and its
+// hosted-instance count.
 func (w *NodeWrapper) Handler() transport.Handler {
 	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		if m.Kind == wire.KindRequest && m.Method == "status" {
+			return &wire.Message{
+				Kind: wire.KindResponse, ID: m.ID,
+				Meta: map[string]string{
+					"node":      string(w.node),
+					"instances": fmt.Sprint(w.Instances()),
+				},
+			}
+		}
 		if m.Kind != wire.KindInstall {
 			return transport.ErrorResponse(m, "wrapper %s: unexpected kind %v", w.node, m.Kind)
 		}
