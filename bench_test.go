@@ -271,10 +271,18 @@ func BenchmarkRPCThroughput(b *testing.B) {
 	}{
 		{"inproc", func() transport.Transport { return transport.NewInProc() }},
 		{"tcp", func() transport.Transport { return transport.NewTCP() }},
+		// tcp-zc is the full zero-copy data path: slab-decoded responses
+		// owned (and released) by the callers. The Release below is a
+		// no-op for the other two transports.
+		{"tcp-zc", func() transport.Transport {
+			t := transport.NewTCP()
+			t.ZeroCopyResponses = true
+			return t
+		}},
 	}
 	body := make([]byte, 256)
 	for _, tc := range transports {
-		for _, callers := range []int{1, 8, 64} {
+		for _, callers := range []int{1, 8, 64, 256} {
 			b.Run(fmt.Sprintf("%s/callers-%d", tc.name, callers), func(b *testing.B) {
 				tr := tc.mk()
 				ln, err := tr.Serve("", h)
@@ -312,6 +320,7 @@ func BenchmarkRPCThroughput(b *testing.B) {
 								errs <- fmt.Errorf("kind = %v", resp.Kind)
 								return
 							}
+							resp.Release()
 						}
 					}()
 				}

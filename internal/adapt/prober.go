@@ -2,6 +2,7 @@ package adapt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -46,6 +47,14 @@ func (p *TransportProber) Probe(node netmodel.NodeID, addr string, timeoutMS flo
 		return err
 	}
 	if err := transport.AsError(resp); err != nil {
+		// A shed reply is proof of life: the wrapper's admission control
+		// answered from its own reader because the worker pool is
+		// saturated. Counting it as a strike would turn transient
+		// overload into suspicion, eviction, and a pointless migration
+		// storm — exactly when the node can least afford one.
+		if errors.Is(err, transport.ErrOverloaded) {
+			return nil
+		}
 		return err
 	}
 	if got := resp.Meta["node"]; got != string(node) {

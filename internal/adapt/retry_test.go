@@ -205,3 +205,23 @@ func TestTransportProber(t *testing.T) {
 		t.Fatal("probe of a dead address must fail")
 	}
 }
+
+// TestTransportProberOverloadedIsAlive: a shed (ErrOverloaded) reply is
+// proof of life — the node's admission control answered — so it must
+// not count as a suspicion strike, while ordinary errors still do.
+func TestTransportProberOverloadedIsAlive(t *testing.T) {
+	tr := transport.NewInProc()
+	ln := serveFn(t, tr, func(m *wire.Message) *wire.Message {
+		return transport.OverloadResponse(m)
+	})
+	p := adapt.NewTransportProber(tr)
+	if err := p.Probe("x", ln.Addr(), 500); err != nil {
+		t.Fatalf("probe of an overloaded-but-alive node must pass, got %v", err)
+	}
+	lnErr := serveFn(t, tr, func(m *wire.Message) *wire.Message {
+		return transport.ErrorResponse(m, "wrapper on fire")
+	})
+	if err := p.Probe("x", lnErr.Addr(), 500); err == nil {
+		t.Fatal("a genuine error reply must still count as a probe failure")
+	}
+}

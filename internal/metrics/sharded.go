@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"runtime"
+	"sync/atomic"
+	_ "unsafe" // for go:linkname (procHint)
+)
+
+// Sharded recorders: per-P striped counters and histograms for paths
+// hot enough that a single atomic cache line becomes the bottleneck.
+// A plain atomic.Uint64 bumped by every caller makes all cores fight
+// over one cache line; the sharded variants spread updates across
+// per-P cells (cache-line padded) and fold them back together at
+// snapshot time. Folding is merge-exact: Load/Snapshot of the shards
+// equals the value a single unsharded recorder fed the same updates
+// would report — the same contract the parallel bench shards rely on.
+//
+// The shard index is the calling goroutine's current P, read via
+// runtime procPin (the scheduler hint sync.Pool uses). Pinning costs a
+// few nanoseconds and the P can migrate between the read and the
+// update; that only moves the update to a neighbouring cell, never
+// loses it, so exactness is unaffected.
+
+// counterShards and histShards bound the stripe widths. The effective
+// width is the smallest power of two covering the CPU count (so a
+// 1-CPU container pays for one cell), capped here.
+const (
+	counterShards = 32
+	histShards    = 8
+)
+
+// shardMask folds P ids onto the effective stripe width. P ids above
+// the width (GOMAXPROCS raised after init) wrap instead of overflow.
+var shardMask = func() uint32 {
+	n := runtime.NumCPU()
+	w := uint32(1)
+	for int(w) < n && w < counterShards {
+		w <<= 1
+	}
+	return w - 1
+}()
+
+//go:linkname runtime_procPin runtime.procPin
+func runtime_procPin() int
+
+//go:linkname runtime_procUnpin runtime.procUnpin
+func runtime_procUnpin()
+
+// procHint returns the calling goroutine's current P id — a cheap,
+// contention-free shard selector.
+func procHint() uint32 {
+	p := runtime_procPin()
+	runtime_procUnpin()
+	return uint32(p)
+}
+
+// counterCell is one padded stripe: the value plus enough padding that
+// two adjacent cells never share a 64-byte cache line.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a Counter whose increments stripe across per-P
+// cells. The zero value is ready to use. Use it where many goroutines
+// bump the same counter on a fast path (per-frame transport counters);
+// for low-rate counters a plain Counter is smaller and just as fast.
+type ShardedCounter struct {
+	cells [counterShards]counterCell
+}
+
+// Add adds n to the calling P's cell.
+func (c *ShardedCounter) Add(n int64) {
+	c.cells[procHint()&shardMask].v.Add(n)
+}
+
+// Inc adds one.
+func (c *ShardedCounter) Inc() { c.Add(1) }
+
+// Load folds the cells into the exact total.
+func (c *ShardedCounter) Load() int64 {
+	var sum int64
+	for i := uint32(0); i <= shardMask; i++ {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// ShardedHistogram is a Histogram whose Observes stripe across per-P
+// shards, merged exactly at snapshot time. The zero value is ready to
+// use. It trades memory (histShards full bucket arrays) for an
+// uncontended Observe, so reserve it for recorders on the per-request
+// path (queue wait times); rendering-side histograms should stay
+// plain.
+type ShardedHistogram struct {
+	shards [histShards]Histogram
+}
+
+// histMask folds P ids onto the histogram stripe width.
+var histMask = func() uint32 {
+	m := shardMask
+	if m > histShards-1 {
+		m = histShards - 1
+	}
+	return m
+}()
+
+// Observe records one sample into the calling P's shard.
+func (h *ShardedHistogram) Observe(v float64) {
+	h.shards[procHint()&histMask].Observe(v)
+}
+
+// Count returns the total sample count across shards.
+func (h *ShardedHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.shards {
+		n += h.shards[i].Count()
+	}
+	return n
+}
+
+// Snapshot merges the shards into one Histogram. The merge is exact:
+// quantiles of the snapshot equal quantiles of an unsharded Histogram
+// fed the same samples.
+func (h *ShardedHistogram) Snapshot() *Histogram {
+	out := &Histogram{}
+	for i := range h.shards {
+		out.Merge(&h.shards[i])
+	}
+	return out
+}

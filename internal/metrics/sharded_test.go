@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedCounterExact asserts the merge is exact under heavy
+// concurrent mixed adds: sharding may spread the value, never lose it.
+func TestShardedCounterExact(t *testing.T) {
+	var c ShardedCounter
+	const goroutines = 16
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 3 {
+				case 0:
+					c.Inc()
+				case 1:
+					c.Add(3)
+				case 2:
+					c.Add(-2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Mirror the loop exactly: i%3 buckets are not equal thirds.
+	var perGoroutine int64
+	for i := 0; i < perG; i++ {
+		switch i % 3 {
+		case 0:
+			perGoroutine++
+		case 1:
+			perGoroutine += 3
+		case 2:
+			perGoroutine -= 2
+		}
+	}
+	want := int64(goroutines) * perGoroutine
+	if got := c.Load(); got != want {
+		t.Fatalf("Load() = %d, want %d", got, want)
+	}
+}
+
+// TestShardedCounterZeroValue asserts the zero value is usable, like
+// the atomics it replaces.
+func TestShardedCounterZeroValue(t *testing.T) {
+	var c ShardedCounter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Add(5)
+	c.Add(-5)
+	if c.Load() != 0 {
+		t.Fatal("inc/dec did not cancel")
+	}
+}
+
+// TestShardedHistogramMergeExact asserts the merged snapshot holds
+// every observation from every shard.
+func TestShardedHistogramMergeExact(t *testing.T) {
+	var h ShardedHistogram
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("Count() = %d, want %d", got, want)
+	}
+	snap := h.Snapshot()
+	if got, want := snap.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("Snapshot().Count() = %d, want %d", got, want)
+	}
+	// An exact 0 sample reads back as the smallest subnormal (the
+	// histogram's "no sample" sentinel nudge), so bound it instead of
+	// comparing exactly.
+	if min, max := snap.Min(), snap.Max(); min > 1e-300 || max != 99 {
+		t.Fatalf("min=%v max=%v, want ~0 and 99", min, max)
+	}
+	if p50 := snap.Quantile(0.5); p50 < 30 || p50 > 70 {
+		t.Fatalf("p50 = %v for uniform 0..99, want near 50", p50)
+	}
+}
+
+// BenchmarkShardedCounterParallel measures the contended add path the
+// sharding exists for; compare with BenchmarkAtomicCounterParallel.
+func BenchmarkShardedCounterParallel(b *testing.B) {
+	var c ShardedCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Load() != int64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+// BenchmarkAtomicCounterParallel is the single-cache-line baseline.
+func BenchmarkAtomicCounterParallel(b *testing.B) {
+	var v atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.Add(1)
+		}
+	})
+}
+
+// TestProcHintStable sanity-checks the procPin-based shard hint: it
+// must return a value in range on every call and not panic off the
+// goroutine that first touched it.
+func TestProcHintStable(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 2*runtime.NumCPU(); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if p := procHint(); p > 1<<20 {
+					t.Errorf("procHint() = %d, implausible", p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package smock
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"partsvc/internal/transport"
@@ -121,15 +122,22 @@ func (l *Lookup) Find(service string, attrs map[string]string) []Entry {
 // match.
 func (l *Lookup) Handler() transport.Handler {
 	return transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		// Registered entries outlive the request, and transport requests
+		// are zero-copy (their strings alias a slab released after the
+		// response) — everything stored must own its bytes.
 		attrs := map[string]string{}
 		for k, v := range m.Meta {
 			if len(k) > 5 && k[:5] == "attr." {
-				attrs[k[5:]] = v
+				attrs[strings.Clone(k[5:])] = strings.Clone(v)
 			}
 		}
 		switch m.Method {
 		case "register":
-			err := l.Register(Entry{Service: m.Meta["service"], Attrs: attrs, ServerAddr: m.Meta["addr"]})
+			err := l.Register(Entry{
+				Service:    strings.Clone(m.Meta["service"]),
+				Attrs:      attrs,
+				ServerAddr: strings.Clone(m.Meta["addr"]),
+			})
 			if err != nil {
 				return transport.ErrorResponse(m, "%v", err)
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 
 	"partsvc/internal/netmodel"
@@ -128,10 +129,13 @@ func (g *GenericServer) Handler() transport.Handler {
 			return transport.ErrorResponse(m, "generic server: unknown method %q", m.Method)
 		}
 		rate, _ := strconv.ParseFloat(m.Meta["rate"], 64)
+		// The planner records requests beyond this call, and transport
+		// requests are zero-copy (meta strings alias a slab released
+		// after the response) — the Request must own its strings.
 		req := planner.Request{
-			Interface:  m.Meta["interface"],
-			ClientNode: netmodel.NodeID(m.Meta["node"]),
-			User:       m.Meta["user"],
+			Interface:  strings.Clone(m.Meta["interface"]),
+			ClientNode: netmodel.NodeID(strings.Clone(m.Meta["node"])),
+			User:       strings.Clone(m.Meta["user"]),
 			RateRPS:    rate,
 		}
 		_, span := trace.StartRemote(context.Background(),

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"strings"
 	"time"
 
 	"partsvc/internal/metrics"
@@ -82,7 +83,9 @@ func serveObserved(h Handler, req *wire.Message) *wire.Message {
 	}
 	span := trace.Default.StartSpan(trace.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID}, "transport.serve")
 	if req.Method != "" {
-		span.SetAttr("method", req.Method)
+		// The span ring outlives the request; server requests are
+		// slab-backed (zero-copy), so the attribute must own its bytes.
+		span.SetAttr("method", strings.Clone(req.Method))
 	}
 	prevT, prevS := req.TraceID, req.SpanID
 	sc := span.Context()

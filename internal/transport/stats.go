@@ -1,26 +1,38 @@
 package transport
 
 import (
-	"sync/atomic"
-
 	"partsvc/internal/metrics"
 )
 
-// Stats holds the per-transport data-plane counters. All fields are
-// atomic; one Stats value is shared by every endpoint and connection of
-// a transport so the totals describe the whole data plane.
+// Stats holds the per-transport data-plane counters. One Stats value is
+// shared by every endpoint and connection of a transport so the totals
+// describe the whole data plane. The counters are per-core sharded
+// (metrics.ShardedCounter): the hot path touches a shard picked by the
+// running P, so concurrent connections and callers never contend on one
+// cache line, and Snapshot merges the shards into exact totals.
 type Stats struct {
 	// InFlight is the number of calls currently awaiting a response.
-	InFlight atomic.Int64
+	InFlight metrics.ShardedCounter
 	// FramesSent / FramesReceived count frames crossing the transport.
-	FramesSent     atomic.Uint64
-	FramesReceived atomic.Uint64
+	FramesSent     metrics.ShardedCounter
+	FramesReceived metrics.ShardedCounter
 	// BytesSent / BytesReceived count framed bytes (headers included).
-	BytesSent     atomic.Uint64
-	BytesReceived atomic.Uint64
+	BytesSent     metrics.ShardedCounter
+	BytesReceived metrics.ShardedCounter
 	// DecodeErrors counts frames whose payload failed to decode
 	// (transport_decode_errors: corrupt or hostile traffic).
-	DecodeErrors atomic.Uint64
+	DecodeErrors metrics.ShardedCounter
+	// Shed counts requests refused by admission control: the worker
+	// pool and its queue were both full, so the server answered with a
+	// CodeOverloaded error instead of queueing.
+	Shed metrics.ShardedCounter
+	// QueueDepth is the number of admitted requests currently waiting
+	// for (or held by the channel buffer ahead of) a worker.
+	QueueDepth metrics.ShardedCounter
+	// QueueWait records milliseconds each admitted request spent in the
+	// dispatch queue before a worker picked it up — time-in-queue is
+	// the first overload signal, visible well before shedding starts.
+	QueueWait metrics.ShardedHistogram
 }
 
 // StatsSnapshot is a point-in-time copy of one transport's counters,
@@ -35,18 +47,35 @@ type StatsSnapshot struct {
 	BytesSent      uint64
 	BytesReceived  uint64
 	DecodeErrors   uint64
+	Shed           uint64
+	QueueDepth     int64
+	// QueueWaited counts requests that went through the dispatch queue;
+	// the P50/P99/Max quantiles describe their wait in milliseconds.
+	QueueWaited    uint64
+	QueueWaitP50MS float64
+	QueueWaitP99MS float64
+	QueueWaitMaxMS float64
 }
 
-// Snapshot copies this transport's counters.
+// Snapshot merges this transport's sharded counters into exact totals.
 func (s *Stats) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		InFlight:       s.InFlight.Load(),
-		FramesSent:     s.FramesSent.Load(),
-		FramesReceived: s.FramesReceived.Load(),
-		BytesSent:      s.BytesSent.Load(),
-		BytesReceived:  s.BytesReceived.Load(),
-		DecodeErrors:   s.DecodeErrors.Load(),
+		FramesSent:     uint64(s.FramesSent.Load()),
+		FramesReceived: uint64(s.FramesReceived.Load()),
+		BytesSent:      uint64(s.BytesSent.Load()),
+		BytesReceived:  uint64(s.BytesReceived.Load()),
+		DecodeErrors:   uint64(s.DecodeErrors.Load()),
+		Shed:           uint64(s.Shed.Load()),
+		QueueDepth:     s.QueueDepth.Load(),
 	}
+	if qw := s.QueueWait.Snapshot(); qw.Count() > 0 {
+		snap.QueueWaited = qw.Count()
+		snap.QueueWaitP50MS = qw.Quantile(0.50)
+		snap.QueueWaitP99MS = qw.Quantile(0.99)
+		snap.QueueWaitMaxMS = qw.Max()
+	}
+	return snap
 }
 
 // KVs renders the snapshot as registry rows.
@@ -58,6 +87,10 @@ func (s StatsSnapshot) KVs() []metrics.KV {
 		metrics.KVf("bytes_sent", "%d", s.BytesSent),
 		metrics.KVf("bytes_received", "%d", s.BytesReceived),
 		metrics.KVf("decode_errors", "%d", s.DecodeErrors),
+		metrics.KVf("shed", "%d", s.Shed),
+		metrics.KVf("queue_depth", "%d", s.QueueDepth),
+		metrics.KVf("queue_wait_p50_ms", "%.3f", s.QueueWaitP50MS),
+		metrics.KVf("queue_wait_p99_ms", "%.3f", s.QueueWaitP99MS),
 	}
 }
 

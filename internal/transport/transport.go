@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -83,6 +84,19 @@ var ErrClosed = errors.New("transport: closed")
 // ErrNoSuchAddr reports a dial to an unserved in-process address.
 var ErrNoSuchAddr = errors.New("transport: no such address")
 
+// ErrOverloaded reports a request shed by server-side admission
+// control: the handler pool and its bounded queue were both full, so
+// the server refused the request immediately instead of queueing it
+// into timeout collapse. The server is alive — callers should back off
+// and retry, and health probers must NOT count it as a failure.
+// AsError wraps shed replies (CodeOverloaded) in this sentinel, so
+// errors.Is(err, ErrOverloaded) identifies them.
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// CodeOverloaded is the Meta["code"] value marking a KindError reply
+// produced by admission-control shedding.
+const CodeOverloaded = "overloaded"
+
 // ErrorResponse builds a KindError reply carrying a message.
 func ErrorResponse(req *wire.Message, format string, args ...any) *wire.Message {
 	return &wire.Message{
@@ -94,13 +108,44 @@ func ErrorResponse(req *wire.Message, format string, args ...any) *wire.Message 
 	}
 }
 
-// AsError converts a KindError response into a Go error (nil otherwise).
+// OverloadResponse builds the backpressure reply for a shed request: a
+// KindError tagged CodeOverloaded. Servers encode it on the connection
+// reader itself — the whole point is that it must not touch the
+// saturated worker pool.
+func OverloadResponse(req *wire.Message) *wire.Message {
+	return &wire.Message{
+		Kind:   wire.KindError,
+		ID:     req.ID,
+		Target: req.Target,
+		Method: req.Method,
+		Meta: map[string]string{
+			"error": "server overloaded: request shed before dispatch",
+			"code":  CodeOverloaded,
+		},
+	}
+}
+
+// AsError converts a KindError response into a Go error (nil
+// otherwise). Shed replies (CodeOverloaded) come back wrapped in
+// ErrOverloaded. The returned error owns its text even when resp is a
+// zero-copy message whose fields alias a slab, so it stays valid after
+// the response is released.
 func AsError(resp *wire.Message) error {
 	if resp == nil || resp.Kind != wire.KindError {
 		return nil
 	}
-	if resp.Meta != nil && resp.Meta["error"] != "" {
-		return errors.New(resp.Meta["error"])
+	msg := ""
+	if resp.Meta != nil {
+		msg = resp.Meta["error"]
+		if resp.Meta["code"] == CodeOverloaded {
+			if msg == "" {
+				return ErrOverloaded
+			}
+			return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+		}
+	}
+	if msg != "" {
+		return errors.New(strings.Clone(msg))
 	}
 	return errors.New("transport: remote error")
 }
@@ -227,24 +272,31 @@ func (e *inprocEndpoint) callContext(ctx context.Context, m *wire.Message) (*wir
 		return nil, fmt.Errorf("transport: encoding request: %w", err)
 	}
 	stats.FramesSent.Add(1)
-	stats.BytesSent.Add(uint64(len(data)))
-	req, err := wire.UnmarshalMessage(data)
-	wire.PutBuffer(data)
+	stats.BytesSent.Add(int64(len(data)))
+	// Requests decode zero-copy exactly as on the TCP server side, so
+	// handlers see the same slab-backed messages (and the same lifetime
+	// rules) whichever transport runs under them.
+	req, err := wire.UnmarshalMessageSlab(data)
 	if err != nil {
+		wire.PutBuffer(data)
 		stats.DecodeErrors.Add(1)
 		return nil, fmt.Errorf("transport: decoding request: %w", err)
 	}
 	resp := serveObserved(h, req)
 	if resp == nil {
+		req.Release()
 		return nil, fmt.Errorf("transport: handler for %q returned nil", e.addr)
 	}
 	data, err = resp.AppendTo(wire.GetBuffer())
+	// The response is encoded (or failed before writing a byte): the
+	// request slab it may alias can go back to the pool either way.
+	req.Release()
 	if err != nil {
 		wire.PutBuffer(data)
 		return nil, fmt.Errorf("transport: encoding response: %w", err)
 	}
 	stats.FramesReceived.Add(1)
-	stats.BytesReceived.Add(uint64(len(data)))
+	stats.BytesReceived.Add(int64(len(data)))
 	out, err := wire.UnmarshalMessage(data)
 	wire.PutBuffer(data)
 	if err != nil {

@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
-	"sync/atomic"
 )
 
 // Framing, version 2.
@@ -38,6 +36,12 @@ const (
 
 	frameV2Flag   = 0x80000000
 	frameV2HdrLen = 1 + 8 // version byte + request id
+
+	// FrameHeaderLenV2 and FrameHeaderLenV1 are the on-wire header
+	// sizes, exported for transports that account bytes or build
+	// headers themselves (AppendFrameHeader).
+	FrameHeaderLenV2 = 4 + frameV2HdrLen
+	FrameHeaderLenV1 = 4
 )
 
 // ErrFrameVersion reports a v2-flagged frame with an unknown version
@@ -58,6 +62,10 @@ type Frame struct {
 // FrameReader decodes v1 and v2 frames from a buffered stream.
 type FrameReader struct {
 	br *bufio.Reader
+	// scratch backs the fixed-size header reads; a local array would
+	// escape through the io.ReadFull interface call and cost one heap
+	// allocation per frame.
+	scratch [4 + frameV2HdrLen]byte
 }
 
 // NewFrameReader returns a FrameReader over r.
@@ -69,17 +77,17 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // pool; return it with PutBuffer once decoded. io.EOF passes through
 // unwrapped on a clean close between frames.
 func (fr *FrameReader) Next() (Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+	hdr := fr.scratch[:4]
+	if _, err := io.ReadFull(fr.br, hdr); err != nil {
 		return Frame{}, err
 	}
-	word := binary.BigEndian.Uint32(hdr[:])
+	word := binary.BigEndian.Uint32(hdr)
 	f := Frame{Version: FrameV1}
 	n := word
 	if word&frameV2Flag != 0 {
 		n = word &^ frameV2Flag
-		var ext [frameV2HdrLen]byte
-		if _, err := io.ReadFull(fr.br, ext[:]); err != nil {
+		ext := fr.scratch[4 : 4+frameV2HdrLen]
+		if _, err := io.ReadFull(fr.br, ext); err != nil {
 			return Frame{}, fmt.Errorf("wire: reading frame header: %w", err)
 		}
 		if ext[0] != FrameV2 {
@@ -91,13 +99,7 @@ func (fr *FrameReader) Next() (Frame, error) {
 	if n > MaxFrame {
 		return Frame{}, ErrFrameTooLarge
 	}
-	payload := GetBuffer()
-	if cap(payload) < int(n) {
-		PutBuffer(payload) // too small for this frame: recycle, don't leak
-		payload = make([]byte, n)
-	} else {
-		payload = payload[:n]
-	}
+	payload := GetBufferSize(int(n))[:n]
 	if _, err := io.ReadFull(fr.br, payload); err != nil {
 		PutBuffer(payload)
 		return Frame{}, fmt.Errorf("wire: reading frame payload: %w", err)
@@ -161,60 +163,21 @@ func (fw *FrameWriter) Flush() error { return fw.bw.Flush() }
 // Buffered reports the number of bytes waiting for a Flush.
 func (fw *FrameWriter) Buffered() int { return fw.bw.Buffered() }
 
-// Encode buffer pool. Marshaling on the hot RPC path draws scratch
-// buffers from here instead of allocating; the hit/miss counters feed
-// the transport metrics (pool hit rate).
-const maxPooledBuffer = 1 << 20
-
-var (
-	bufPool              sync.Pool // holds *[]byte
-	poolHits, poolMisses atomic.Uint64
-)
-
-// GetBuffer returns a zero-length scratch buffer from the pool.
-func GetBuffer() []byte {
-	if p, ok := bufPool.Get().(*[]byte); ok {
-		poolHits.Add(1)
-		return (*p)[:0]
-	}
-	poolMisses.Add(1)
-	return make([]byte, 0, 4096)
+// AppendFrameHeader appends the v2 frame header (length word with the
+// v2 flag, version byte, request ID) for a payload of n bytes. The
+// scatter-gather write path builds headers into one scratch buffer and
+// writevs them alongside the payloads, so a burst of frames reaches
+// the kernel in a single syscall with zero intermediate copies.
+func AppendFrameHeader(dst []byte, id uint64, n int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n)|frameV2Flag)
+	dst = append(dst, FrameV2)
+	return binary.BigEndian.AppendUint64(dst, id)
 }
 
-// PutBuffer returns a buffer to the pool. Oversized buffers are dropped
-// so one huge frame does not pin memory forever.
-func PutBuffer(b []byte) {
-	if cap(b) == 0 || cap(b) > maxPooledBuffer {
-		return
-	}
-	b = b[:0]
-	bufPool.Put(&b)
+// AppendFrameHeaderV1 appends the legacy v1 header (bare length
+// prefix) for a payload of n bytes.
+func AppendFrameHeaderV1(dst []byte, n int) []byte {
+	return binary.BigEndian.AppendUint32(dst, uint32(n))
 }
 
-// PoolStats reports cumulative buffer pool hits and misses.
-func PoolStats() (hits, misses uint64) {
-	return poolHits.Load(), poolMisses.Load()
-}
-
-// PoolSnapshot is a point-in-time copy of the buffer pool counters.
-// The pool is process-wide (shared by every transport in the process),
-// so its numbers belong in a process-wide stats section, never in a
-// per-transport one.
-type PoolSnapshot struct {
-	Hits   uint64
-	Misses uint64
-}
-
-// SnapshotPool captures the process-wide buffer pool counters.
-func SnapshotPool() PoolSnapshot {
-	return PoolSnapshot{Hits: poolHits.Load(), Misses: poolMisses.Load()}
-}
-
-// HitRate returns the pool hit fraction (0 when unused).
-func (p PoolSnapshot) HitRate() float64 {
-	total := p.Hits + p.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(p.Hits) / float64(total)
-}
+// The encode/decode buffer pool lives in pool.go (size-classed).

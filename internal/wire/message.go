@@ -71,6 +71,11 @@ type Message struct {
 	// unknown-field path without seeing any difference.
 	TraceID uint64
 	SpanID  uint64
+
+	// slab backs zero-copy decoded messages (UnmarshalMessageSlab):
+	// the fields above alias its buffer until Release. Nil for
+	// messages decoded by UnmarshalMessage or built by hand.
+	slab *Slab
 }
 
 // Message field keys in their wire order. The encoding is the generic
@@ -252,7 +257,10 @@ func UnmarshalMessage(data []byte) (*Message, error) {
 			n := binary.BigEndian.Uint32(data[1:5])
 			data = data[5:]
 			if n > 0 {
-				m.Meta = make(map[string]string, n)
+				// Cap the size hint as the generic decoder does: a
+				// hostile count must not preallocate gigabytes before
+				// the truncation check can reject it.
+				m.Meta = make(map[string]string, min(int(n), 1024))
 			}
 			for j := uint32(0); j < n; j++ {
 				var mk, mv string

@@ -1,0 +1,5 @@
+//go:build !race
+
+package wire
+
+const raceEnabled = false

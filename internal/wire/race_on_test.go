@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose sync.Pool instrumentation deliberately drops a
+// quarter of Puts — which makes strict pool hit-rate assertions
+// meaningless.
+const raceEnabled = true

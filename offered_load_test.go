@@ -1,0 +1,156 @@
+package partsvc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/transport"
+	"partsvc/internal/wire"
+)
+
+// TestOfferedLoadCurve is the A8b experiment harness: a latency-vs-load
+// curve against a deliberately small server (few workers, shallow
+// admission queue, ~1 ms handler) so the shedding onset is visible at
+// laptop-scale caller counts. For each offered load (closed-loop caller
+// count) it reports completed and shed counts and the success-latency
+// quantiles, then asserts the property admission control exists for:
+// past the shedding onset, the p99 of SUCCESSFUL requests stays bounded
+// by the queue's worst-case drain time instead of growing with the
+// number of callers.
+//
+// Run with RUN_OFFERED_LOAD=1; OFFERED_LOAD_MS shrinks the per-point
+// measurement window for CI (default 1000 ms).
+func TestOfferedLoadCurve(t *testing.T) {
+	if os.Getenv("RUN_OFFERED_LOAD") == "" {
+		t.Skip("set RUN_OFFERED_LOAD=1 to run the offered-load experiment")
+	}
+	window := 1000 * time.Millisecond
+	if ms := os.Getenv("OFFERED_LOAD_MS"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil {
+			t.Fatalf("OFFERED_LOAD_MS=%q: %v", ms, err)
+		}
+		window = time.Duration(v) * time.Millisecond
+	}
+
+	const (
+		workers    = 4
+		queueDepth = 8
+		handlerMS  = 1
+	)
+	tr := transport.NewTCP()
+	tr.Workers = workers
+	tr.QueueDepth = queueDepth
+	tr.CallTimeout = 30 * time.Second
+	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		time.Sleep(handlerMS * time.Millisecond)
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Body: m.Body}
+	})
+	ln, err := tr.Serve("", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Worst-case time a successful request can spend behind the queue:
+	// the whole queue plus the in-service batch drains ahead of it. The
+	// 10x slack absorbs scheduler jitter on loaded CI machines; the
+	// assertion still fails decisively if success latency grows with the
+	// caller count (unbounded queueing), which is the regression mode.
+	boundMS := float64((queueDepth/workers+2)*handlerMS) * 10
+
+	table := metrics.NewTable("callers", "completed", "shed", "shed_pct", "p50_ms", "p99_ms", "max_ms")
+	type point struct {
+		callers int
+		shedPct float64
+		p99MS   float64
+	}
+	var curve []point
+	for _, callers := range []int{1, 8, 64, 256} {
+		ep, err := tr.Dial(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			mu        sync.Mutex
+			latencies []float64
+			shed      int64
+		)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					begin := time.Now()
+					resp, err := ep.Call(&wire.Message{Kind: wire.KindRequest, Method: "load"})
+					if err != nil {
+						return // endpoint closed at window end
+					}
+					callErr := transport.AsError(resp)
+					elapsed := float64(time.Since(begin)) / float64(time.Millisecond)
+					mu.Lock()
+					switch {
+					case callErr == nil:
+						latencies = append(latencies, elapsed)
+					case errors.Is(callErr, transport.ErrOverloaded):
+						shed++
+					default:
+						mu.Unlock()
+						t.Errorf("callers=%d: %v", callers, callErr)
+						return
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		ep.Close()
+
+		mu.Lock()
+		sort.Float64s(latencies)
+		n := len(latencies)
+		if n == 0 {
+			mu.Unlock()
+			t.Fatalf("callers=%d: no successful requests", callers)
+		}
+		q := func(p float64) float64 { return latencies[min(n-1, int(p*float64(n)))] }
+		total := float64(n) + float64(shed)
+		shedPct := 100 * float64(shed) / total
+		p50, p99, max := q(0.50), q(0.99), latencies[n-1]
+		table.AddRow(callers, n, shed, fmt.Sprintf("%.1f%%", shedPct), p50, p99, max)
+		curve = append(curve, point{callers: callers, shedPct: shedPct, p99MS: p99})
+		mu.Unlock()
+	}
+	t.Logf("offered-load curve (workers=%d queue=%d handler=%dms window=%v):\n%s",
+		workers, queueDepth, handlerMS, window, table)
+
+	// The guard: shedding must actually start (the 256-caller point
+	// floods a 4-worker server), and once it has, successful requests
+	// keep bounded latency.
+	last := curve[len(curve)-1]
+	if last.shedPct == 0 {
+		t.Fatalf("no shedding at %d callers against %d workers — admission control inert", last.callers, workers)
+	}
+	for _, p := range curve {
+		if p.shedPct > 0 && p.p99MS > boundMS {
+			t.Errorf("callers=%d: success p99 %.1f ms exceeds the queue-drain bound %.1f ms — latency grows past the shedding onset",
+				p.callers, p.p99MS, boundMS)
+		}
+	}
+}
