@@ -11,6 +11,7 @@
 //	BenchmarkMailSendThroughView    — steady-state runtime request path
 //	BenchmarkWireMessage            — serialization substrate
 //	BenchmarkRPCThroughput          — data-plane concurrency (A4)
+//	BenchmarkRPCMultiCore           — multi-core scale-out, ring vs tcp (A9)
 //
 // The simulator-core scheduler benchmarks (A5b) live next to the code
 // they measure: BenchmarkSimCore and BenchmarkCalendarVsHeap in
@@ -19,6 +20,7 @@ package partsvc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -279,6 +281,14 @@ func BenchmarkRPCThroughput(b *testing.B) {
 			t.ZeroCopyResponses = true
 			return t
 		}},
+		// ring is the co-located fast path: the same connection machinery
+		// over shared-memory SPSC rings instead of a loopback socket.
+		{"ring", func() transport.Transport {
+			t := transport.NewTCP()
+			t.Ring = true
+			t.ZeroCopyResponses = true
+			return t
+		}},
 	}
 	body := make([]byte, 256)
 	for _, tc := range transports {
@@ -331,6 +341,105 @@ func BenchmarkRPCThroughput(b *testing.B) {
 					b.Fatal(err)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkRPCMultiCore is ablation A9: the data plane's scale-out
+// curve. It sweeps GOMAXPROCS × connections × transports with a fixed
+// population of 64 callers (the MPSC writer's contention point), so
+// the table answers two questions: how the lock-free write queue
+// scales when cores are added, and how much the shared-memory ring
+// buys over a loopback socket for co-located endpoints. Callers are
+// spread round-robin over the connections; all connections share one
+// transport (and therefore one stats plane), as in a real partition
+// server hosting several co-located components.
+func BenchmarkRPCMultiCore(b *testing.B) {
+	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		return &wire.Message{
+			Kind: wire.KindResponse, ID: m.ID, Target: m.Target, Method: m.Method,
+			Body: m.Body,
+		}
+	})
+	transports := []struct {
+		name string
+		mk   func() transport.Transport
+	}{
+		{"inproc", func() transport.Transport { return transport.NewInProc() }},
+		{"tcp", func() transport.Transport {
+			t := transport.NewTCP()
+			t.ZeroCopyResponses = true
+			return t
+		}},
+		{"ring", func() transport.Transport {
+			t := transport.NewTCP()
+			t.Ring = true
+			t.ZeroCopyResponses = true
+			return t
+		}},
+	}
+	const callers = 64
+	body := make([]byte, 256)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gmp := range []int{1, 2, 4} {
+		for _, tc := range transports {
+			for _, conns := range []int{1, 4} {
+				name := fmt.Sprintf("gomaxprocs-%d/%s/conns-%d", gmp, tc.name, conns)
+				b.Run(name, func(b *testing.B) {
+					runtime.GOMAXPROCS(gmp)
+					defer runtime.GOMAXPROCS(prev)
+					tr := tc.mk()
+					ln, err := tr.Serve("", h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer ln.Close()
+					eps := make([]transport.Endpoint, conns)
+					for i := range eps {
+						if eps[i], err = tr.Dial(ln.Addr()); err != nil {
+							b.Fatal(err)
+						}
+						defer eps[i].Close()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					var next atomic.Int64
+					var wg sync.WaitGroup
+					errs := make(chan error, callers)
+					for c := 0; c < callers; c++ {
+						ep := eps[c%conns]
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								i := next.Add(1)
+								if i > int64(b.N) {
+									return
+								}
+								resp, err := ep.Call(&wire.Message{
+									Kind: wire.KindRequest, Method: "echo", Body: body,
+								})
+								if err != nil {
+									errs <- err
+									return
+								}
+								if resp.Kind != wire.KindResponse {
+									errs <- fmt.Errorf("kind = %v", resp.Kind)
+									return
+								}
+								resp.Release()
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					close(errs)
+					for err := range errs {
+						b.Fatal(err)
+					}
+				})
+			}
 		}
 	}
 }

@@ -15,6 +15,7 @@
 //	mailbench -workers 4        # scenario-sweep parallelism (default GOMAXPROCS)
 //	mailbench -simstats         # print simulator scheduler counters
 //	mailbench -trace DS500      # span tree + per-stage breakdown of one scenario
+//	mailbench -multicore        # live RPC scale-out: GOMAXPROCS × transport × conns (A9)
 //
 // Scenario runs fan out over a bounded worker pool; output is
 // byte-identical for every -workers value (each scenario is its own
@@ -48,6 +49,10 @@ func main() {
 	procs := flag.Bool("procs", false, "use the goroutine-process simulation engine (slow path)")
 	simstats := flag.Bool("simstats", false, "print simulator scheduler counters after the run")
 	traceSc := flag.String("trace", "", "trace one scenario: print its span tree and per-stage latency breakdown")
+	multicore := flag.Bool("multicore", false, "live RPC scale-out sweep: GOMAXPROCS × transport × connections (A9)")
+	callers := flag.String("callers", "1,64", "comma-separated caller counts for -multicore")
+	cellDur := flag.Duration("dur", 2*time.Second, "measurement time per -multicore cell")
+	gmpList := flag.String("gomaxprocs", "1,2,4", "comma-separated GOMAXPROCS values for -multicore")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -97,6 +102,18 @@ func main() {
 		}
 		fmt.Println("Planner scaling on Waxman topologies (ablation A3):")
 		fmt.Print(bench.ScalingTable(rows))
+	case *multicore:
+		gmp, err := parseCounts(*gmpList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		callerList, err := parseCounts(*callers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		runMultiCore(callerList, 256, *cellDur, gmp)
 	case *traceSc != "":
 		if *sends == 0 {
 			cfg.SendsPerClient = 5 // keep the printed span tree readable

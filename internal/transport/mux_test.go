@@ -270,7 +270,7 @@ func TestMuxDecodeErrorGetsFinalResponse(t *testing.T) {
 	raw.pending[id] = ch
 	raw.mu.Unlock()
 	payload := append(wire.GetBuffer(), 0x7f, 0x00) // unknown tag
-	raw.writeCh <- outFrame{id: id, payload: payload}
+	raw.q.push(outFrame{id: id, payload: payload})
 	select {
 	case res := <-ch:
 		if res.err != nil {

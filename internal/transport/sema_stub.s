@@ -1,0 +1,2 @@
+// Empty assembly file: enables //go:linkname of runtime semaphore
+// functions from mpsc.go (same pattern as internal/metrics).

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"sync"
+
 	"partsvc/internal/metrics"
 )
 
@@ -33,6 +35,32 @@ type Stats struct {
 	// dispatch queue before a worker picked it up — time-in-queue is
 	// the first overload signal, visible well before shedding starts.
 	QueueWait metrics.ShardedHistogram
+	// liveQueues tracks the open MPSC write queues (registered at
+	// creation, dropped at close) so Snapshot can report aggregate
+	// write-queue depth by summing their sizes — keeping the per-frame
+	// push path free of any global counter.
+	liveQueues sync.Map // *writeQueue -> struct{}
+	// WriterParks / WriterWakes count semaphore round trips on the MPSC
+	// write queues: parks is writer goroutines going to sleep on an
+	// empty queue, wakes is producers releasing them. A low park rate
+	// under load means the spin-then-park coalescing is absorbing the
+	// traffic without scheduler round trips.
+	WriterParks metrics.ShardedCounter
+	WriterWakes metrics.ShardedCounter
+	// WriteBatch records the frame count of each writev flush — the
+	// direct measure of write coalescing (batch p50 near 1 means no
+	// coalescing; under load it should track the caller concurrency).
+	WriteBatch metrics.ShardedHistogram
+	// RingConns counts ring (shared-memory) connections established via
+	// the co-located fast path.
+	RingConns metrics.ShardedCounter
+	// RingParks / RingWakes count semaphore round trips on ring
+	// producers and consumers (spin misses).
+	RingParks metrics.ShardedCounter
+	RingWakes metrics.ShardedCounter
+	// RingOccupancy is the number of bytes currently buffered across
+	// all rings (produced minus consumed).
+	RingOccupancy metrics.ShardedCounter
 }
 
 // StatsSnapshot is a point-in-time copy of one transport's counters,
@@ -55,6 +83,21 @@ type StatsSnapshot struct {
 	QueueWaitP50MS float64
 	QueueWaitP99MS float64
 	QueueWaitMaxMS float64
+	// WriteQueueDepth / park-wake counters describe the MPSC write
+	// queues; WriteBatches and the batch quantiles describe writev
+	// coalescing (frames per flush).
+	WriteQueueDepth int64
+	WriterParks     uint64
+	WriterWakes     uint64
+	WriteBatches    uint64
+	WriteBatchP50   float64
+	WriteBatchP99   float64
+	WriteBatchMax   float64
+	// Ring transport counters (co-located fast path).
+	RingConns     uint64
+	RingParks     uint64
+	RingWakes     uint64
+	RingOccupancy int64
 }
 
 // Snapshot merges this transport's sharded counters into exact totals.
@@ -68,12 +111,29 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		DecodeErrors:   uint64(s.DecodeErrors.Load()),
 		Shed:           uint64(s.Shed.Load()),
 		QueueDepth:     s.QueueDepth.Load(),
+
+		WriterParks:     uint64(s.WriterParks.Load()),
+		WriterWakes:     uint64(s.WriterWakes.Load()),
+		RingConns:       uint64(s.RingConns.Load()),
+		RingParks:       uint64(s.RingParks.Load()),
+		RingWakes:       uint64(s.RingWakes.Load()),
+		RingOccupancy:   s.RingOccupancy.Load(),
 	}
+	s.liveQueues.Range(func(k, _ any) bool {
+		snap.WriteQueueDepth += k.(*writeQueue).len()
+		return true
+	})
 	if qw := s.QueueWait.Snapshot(); qw.Count() > 0 {
 		snap.QueueWaited = qw.Count()
 		snap.QueueWaitP50MS = qw.Quantile(0.50)
 		snap.QueueWaitP99MS = qw.Quantile(0.99)
 		snap.QueueWaitMaxMS = qw.Max()
+	}
+	if wb := s.WriteBatch.Snapshot(); wb.Count() > 0 {
+		snap.WriteBatches = wb.Count()
+		snap.WriteBatchP50 = wb.Quantile(0.50)
+		snap.WriteBatchP99 = wb.Quantile(0.99)
+		snap.WriteBatchMax = wb.Max()
 	}
 	return snap
 }
@@ -91,6 +151,16 @@ func (s StatsSnapshot) KVs() []metrics.KV {
 		metrics.KVf("queue_depth", "%d", s.QueueDepth),
 		metrics.KVf("queue_wait_p50_ms", "%.3f", s.QueueWaitP50MS),
 		metrics.KVf("queue_wait_p99_ms", "%.3f", s.QueueWaitP99MS),
+		metrics.KVf("write_queue_depth", "%d", s.WriteQueueDepth),
+		metrics.KVf("writer_parks", "%d", s.WriterParks),
+		metrics.KVf("writer_wakes", "%d", s.WriterWakes),
+		metrics.KVf("write_batch_p50", "%.1f", s.WriteBatchP50),
+		metrics.KVf("write_batch_p99", "%.1f", s.WriteBatchP99),
+		metrics.KVf("write_batch_max", "%.0f", s.WriteBatchMax),
+		metrics.KVf("ring_conns", "%d", s.RingConns),
+		metrics.KVf("ring_parks", "%d", s.RingParks),
+		metrics.KVf("ring_wakes", "%d", s.RingWakes),
+		metrics.KVf("ring_occupancy_bytes", "%d", s.RingOccupancy),
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"partsvc/internal/wire"
@@ -14,8 +16,10 @@ import (
 
 // TCP is the network transport: v2 frames (request-ID multiplexed) of
 // wire-encoded messages over TCP connections. Each endpoint keeps many
-// calls in flight on one connection: a writer goroutine gathers queued
-// frames into a net.Buffers and hands the whole burst to the kernel
+// calls in flight on one connection: producers link outbound frames
+// onto a lock-free MPSC write queue (no channel locks on the enqueue
+// path), a writer goroutine detaches the queue in batches, gathers
+// them into a net.Buffers and hands the whole burst to the kernel
 // with one writev (scatter-gather — no intermediate copy), a reader
 // goroutine demultiplexes responses by frame ID back to the waiting
 // callers. Servers decode requests zero-copy (slab-backed messages,
@@ -24,6 +28,12 @@ import (
 // queue: when both are full the request is answered immediately with a
 // KindError backpressure reply (ErrOverloaded) instead of stalling the
 // connection reader, so overload degrades gracefully.
+//
+// With Ring set, dials to addresses served by this same transport
+// instance skip the socket entirely: the connection runs over a pair
+// of shared-memory SPSC byte rings (see ring.go) with identical
+// framing and semantics — the co-located fast path for components the
+// planner placed on one node.
 type TCP struct {
 	// Workers bounds concurrent handler invocations per listener
 	// (0 means DefaultWorkers()).
@@ -39,7 +49,8 @@ type TCP struct {
 	// WriteTimeout bounds each write flush on a connection (0 means
 	// DefaultWriteTimeout). A peer that stops reading makes the flush
 	// miss this deadline, which kills the connection instead of
-	// blocking its writer goroutine forever.
+	// blocking its writer goroutine forever. Ring connections apply
+	// the same deadline to ring writes.
 	WriteTimeout time.Duration
 	// ZeroCopyResponses makes endpoints decode responses zero-copy:
 	// returned messages are slab-backed (wire.UnmarshalMessageSlab),
@@ -48,8 +59,40 @@ type TCP struct {
 	// must not be used afterwards; turn it on for high-rate callers
 	// that own their responses end to end.
 	ZeroCopyResponses bool
+	// Ring enables the co-located fast path: Dial checks whether the
+	// address is served by this transport instance and, if so, wires
+	// the endpoint over shared-memory rings instead of a socket. A
+	// miss (remote address) falls back to TCP transparently, so the
+	// flag is safe to set unconditionally on co-locatable components.
+	Ring bool
+	// RingSize is the per-direction ring capacity in bytes for ring
+	// connections (0 means DefaultRingSize; rounded up to a power of
+	// two). Frames larger than the ring stream through it like a
+	// socket buffer.
+	RingSize int
 
 	stats Stats
+
+	// local indexes this instance's live listeners by address, so a
+	// Ring dial can detect co-location without touching the network.
+	mu    sync.Mutex
+	local map[string]*tcpListener
+}
+
+// wireConn is the byte carrier under one connection: a real socket or
+// an in-process ring pair. Everything above it — framing, the MPSC
+// write queue, slab decode, admission control — is carrier-agnostic.
+type wireConn interface {
+	io.ReadWriteCloser
+	SetWriteDeadline(t time.Time) error
+}
+
+// vectorWriter is the optional gather-write fast path of a wireConn.
+// net.Buffers.WriteTo already does real writev on sockets; ring
+// connections implement this instead so a batch is one publish + one
+// wake rather than one Write per slice.
+type vectorWriter interface {
+	writeBuffers(bufs [][]byte) (int64, error)
 }
 
 // DefaultWorkers returns the default per-listener handler pool size:
@@ -76,8 +119,14 @@ var DefaultWriteTimeout = 10 * time.Second
 var ErrCallTimeout = errors.New("transport: call timed out")
 
 // errStalled reports a connection killed because its peer stopped
-// draining responses (full write queue or missed write deadline).
+// draining responses (runaway write queue or missed write deadline).
 var errStalled = errors.New("transport: peer not reading responses")
+
+// stallLimit is the write-queue depth past which a server connection
+// is declared stalled. Healthy peers keep the queue near the writer's
+// batch size; a queue this deep means the peer has stopped reading
+// (the write deadline is the second, slower tripwire).
+const stallLimit = 1024
 
 func (t *TCP) writeTimeout() time.Duration {
 	if t.WriteTimeout > 0 {
@@ -104,25 +153,25 @@ type outFrame struct {
 
 // maxWriteBatch bounds the frames gathered into one writev: it caps
 // the header scratch buffer and keeps a firehose connection from
-// starving the stop signal.
+// starving the writer's close check.
 const maxWriteBatch = 256
 
 // maxCoalesceYields bounds how many scheduler yields the writer takes
 // while its batch keeps growing before committing to a writev.
 const maxCoalesceYields = 3
 
-// writeLoop owns the write half of a connection. It gathers every
-// frame queued while a write is pending into one net.Buffers and
-// writes the whole burst with a single writev: frame headers are
-// encoded into a reusable scratch buffer, payloads go to the kernel
-// from their pooled buffers directly, so a burst of N frames is one
-// syscall and zero intermediate copies. Every batch runs under a write
-// deadline: a peer that stops reading fails the writev within timeout
-// instead of pinning this goroutine (and anyone waiting on it)
-// forever. When stop is closed it drains the queue, writes, and exits.
-// The first write error is reported through onErr (at most once) and
-// stops the loop.
-func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, timeout time.Duration, stats *Stats, onErr func(error)) {
+// writeLoop owns the write half of a connection. It detaches every
+// frame linked onto the MPSC queue while a write is pending into one
+// net.Buffers and writes the whole burst with a single writev: frame
+// headers are encoded into a reusable scratch buffer, payloads go to
+// the kernel from their pooled buffers directly, so a burst of N
+// frames is one syscall and zero intermediate copies. Every batch runs
+// under a write deadline: a peer that stops reading fails the writev
+// within timeout instead of pinning this goroutine (and anyone waiting
+// on it) forever. When the queue closes it drains what is linked,
+// writes, and exits. The first write error is reported through onErr
+// (at most once) and stops the loop.
+func writeLoop(conn wireConn, q *writeQueue, timeout time.Duration, stats *Stats, onErr func(error)) {
 	var (
 		batch = make([]outFrame, 0, maxWriteBatch)
 		hdrs  = make([]byte, 0, wire.FrameHeaderLenV2*maxWriteBatch)
@@ -140,20 +189,10 @@ func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, timeout 
 		}
 		batch = batch[:0]
 	}
-	drainDiscard := func() {
-		for {
-			select {
-			case f := <-ch:
-				wire.PutBuffer(f.payload)
-			default:
-				return
-			}
-		}
-	}
 	fail := func(err error) {
 		recycle()
 		onErr(err)
-		drainDiscard()
+		q.drain(func(f outFrame) { wire.PutBuffer(f.payload) })
 	}
 	// flush writevs the gathered batch. hdrs never grows past its
 	// initial capacity (batch is bounded by maxWriteBatch), so the
@@ -162,6 +201,7 @@ func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, timeout 
 		if len(batch) == 0 {
 			return nil
 		}
+		stats.WriteBatch.Observe(float64(len(batch)))
 		hdrs = hdrs[:0]
 		iov = iov[:0]
 		var n uint64
@@ -185,71 +225,62 @@ func writeLoop(conn net.Conn, ch <-chan outFrame, stop <-chan struct{}, timeout 
 		}
 		// WriteTo consumes (and may modify) the slice it is given, so
 		// hand it a view; the batch keeps the payloads for recycling.
-		w := iov
-		if _, err := (&w).WriteTo(conn); err != nil {
-			return err
+		// Ring connections take the gather list whole instead.
+		if vw, ok := conn.(vectorWriter); ok {
+			if _, err := vw.writeBuffers(iov); err != nil {
+				return err
+			}
+		} else {
+			w := iov
+			if _, err := (&w).WriteTo(conn); err != nil {
+				return err
+			}
 		}
 		stats.FramesSent.Add(int64(len(batch)))
 		stats.BytesSent.Add(int64(n))
 		recycle()
 		return nil
 	}
-	gatherQueued := func() {
-		for len(batch) < maxWriteBatch {
-			select {
-			case f := <-ch:
-				batch = append(batch, f)
-			default:
-				return
-			}
-		}
-	}
 	for {
-		select {
-		case f := <-ch:
-			batch = append(batch, f)
-			gatherQueued()
-			// Scheduler yields before committing to a syscall: on a busy
-			// endpoint the producers that woke this loop are often still
-			// runnable with more frames to queue, and letting them run
-			// turns N near-empty writevs into one large one. Keep
-			// yielding while each yield actually grows the batch (up to
-			// maxCoalesceYields), then write. When idle a yield costs a
-			// few hundred nanoseconds; under load this halves (or
-			// better) the syscall count.
-			for y := 0; y < maxCoalesceYields && len(batch) < maxWriteBatch; y++ {
-				before := len(batch)
-				runtime.Gosched()
-				gatherQueued()
-				if len(batch) == before {
-					break
-				}
-			}
-			if err := flush(); err != nil {
-				fail(err)
-				return
-			}
-		case <-stop:
-			// Final drain: write responses queued before the stop,
-			// still under a deadline so a dead peer cannot block
-			// teardown.
-			for {
-				select {
-				case f := <-ch:
-					batch = append(batch, f)
-					if len(batch) == maxWriteBatch {
-						if err := flush(); err != nil {
-							fail(err)
-							return
-						}
+		batch = q.popBatch(batch[:0], maxWriteBatch)
+		if len(batch) == 0 {
+			if q.isClosed() {
+				// Final drain: write frames linked before the close,
+				// still under a deadline so a dead peer cannot block
+				// teardown.
+				for {
+					batch = q.popBatch(batch[:0], maxWriteBatch)
+					if len(batch) == 0 {
+						return
 					}
-				default:
 					if err := flush(); err != nil {
 						fail(err)
+						return
 					}
-					return
 				}
 			}
+			q.wait()
+			continue
+		}
+		// Scheduler yields before committing to a syscall: on a busy
+		// endpoint the producers that woke this loop are often still
+		// runnable with more frames to queue, and letting them run
+		// turns N near-empty writevs into one large one. Keep
+		// yielding while each yield actually grows the batch (up to
+		// maxCoalesceYields), then write. When idle a yield costs a
+		// few hundred nanoseconds; under load this halves (or
+		// better) the syscall count.
+		for y := 0; y < maxCoalesceYields && len(batch) < maxWriteBatch; y++ {
+			before := len(batch)
+			runtime.Gosched()
+			batch = q.popBatch(batch, maxWriteBatch)
+			if len(batch) == before {
+				break
+			}
+		}
+		if err := flush(); err != nil {
+			fail(err)
+			return
 		}
 	}
 }
@@ -273,9 +304,10 @@ func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 		depth = defaultQueueDepth(workers)
 	}
 	l := &tcpListener{
+		t:            t,
 		ln:           ln,
 		h:            h,
-		conns:        map[net.Conn]struct{}{},
+		conns:        map[wireConn]struct{}{},
 		dispatch:     make(chan dispatchReq, depth),
 		quit:         make(chan struct{}),
 		writeTimeout: t.writeTimeout(),
@@ -288,7 +320,27 @@ func (t *TCP) Serve(addr string, h Handler) (Listener, error) {
 		go l.worker()
 	}
 	go l.acceptLoop()
+	t.mu.Lock()
+	if t.local == nil {
+		t.local = map[string]*tcpListener{}
+	}
+	t.local[l.Addr()] = l
+	t.mu.Unlock()
 	return l, nil
+}
+
+// lookupLocal returns the live listener this instance serves on addr,
+// or nil — the co-location test behind the Ring fast path.
+func (t *TCP) lookupLocal(addr string) *tcpListener {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.local[addr]
+}
+
+func (t *TCP) forgetListener(addr string) {
+	t.mu.Lock()
+	delete(t.local, addr)
+	t.mu.Unlock()
 }
 
 // dispatchReq is one handler invocation queued to the worker pool.
@@ -301,6 +353,7 @@ type dispatchReq struct {
 }
 
 type tcpListener struct {
+	t            *TCP
 	ln           net.Listener
 	h            Handler
 	dispatch     chan dispatchReq // bounded admission queue feeding the pool
@@ -309,7 +362,7 @@ type tcpListener struct {
 	stats        *Stats
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[wireConn]struct{}
 	closed bool
 }
 
@@ -362,10 +415,11 @@ func (l *tcpListener) serveOne(d dispatchReq) {
 func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
 
 func (l *tcpListener) Close() error {
+	l.t.forgetListener(l.Addr())
 	l.mu.Lock()
 	already := l.closed
 	l.closed = true
-	conns := make([]net.Conn, 0, len(l.conns))
+	conns := make([]wireConn, 0, len(l.conns))
 	for c := range l.conns {
 		conns = append(conns, c)
 	}
@@ -386,69 +440,73 @@ func (l *tcpListener) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		l.mu.Lock()
-		if l.closed {
-			l.mu.Unlock()
+		if !l.adopt(conn) {
 			conn.Close()
 			return
 		}
-		l.conns[conn] = struct{}{}
-		l.mu.Unlock()
-		go l.serveConn(conn)
 	}
+}
+
+// adopt registers a connection (socket or ring) and starts serving it.
+// false means the listener has already closed.
+func (l *tcpListener) adopt(conn wireConn) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.conns[conn] = struct{}{}
+	l.mu.Unlock()
+	go l.serveConn(conn)
+	return true
 }
 
 // serveConn reads frames, admits each request to the bounded dispatch
 // queue, and queues responses (tagged with the request's frame ID and
-// echoing its frame version) to the connection's writer. Requests are
-// decoded zero-copy: the slab backing a message is released by the
-// worker once the response is encoded. When the admission queue is
-// full the request is shed — answered with a CodeOverloaded KindError
-// built right here on the reader, bypassing the saturated pool — so
-// the reader never stalls and the peer learns immediately. A frame
-// that fails to decode gets a best-effort final error response before
-// the connection drops, and bumps the transport_decode_errors counter.
-func (l *tcpListener) serveConn(conn net.Conn) {
-	writeCh := make(chan outFrame, 256)
-	writerStop := make(chan struct{})
+// echoing its frame version) to the connection's MPSC write queue.
+// Requests are decoded zero-copy: the slab backing a message is
+// released by the worker once the response is encoded. When the
+// admission queue is full the request is shed — answered with a
+// CodeOverloaded KindError built right here on the reader, bypassing
+// the saturated pool — so the reader never stalls and the peer learns
+// immediately. A frame that fails to decode gets a best-effort final
+// error response before the connection drops, and bumps the
+// transport_decode_errors counter.
+func (l *tcpListener) serveConn(conn wireConn) {
+	q := newWriteQueue(l.stats)
 	writerDone := make(chan struct{})
-	connDead := make(chan struct{})
+	var connDown atomic.Bool
 	var deadOnce sync.Once
 	// markDead also closes the connection: it unblocks a writer parked
 	// in conn.Write and makes the read loop exit, so one failed half
 	// tears the whole connection down promptly.
 	markDead := func(error) {
 		deadOnce.Do(func() {
-			close(connDead)
+			connDown.Store(true)
 			conn.Close()
 		})
 	}
 	go func() {
 		defer close(writerDone)
-		writeLoop(conn, writeCh, writerStop, l.writeTimeout, l.stats, markDead)
+		writeLoop(conn, q, l.writeTimeout, l.stats, markDead)
 	}()
 
-	// enqueue parks a response for the writer unless the connection has
-	// already failed. It NEVER blocks: the pool workers are shared by
-	// every connection, so a peer that sends requests but stops reading
-	// responses (full writeCh behind a stalled writer) must cost this
-	// connection its life, not stall the whole listener.
+	// enqueue parks a response on the writer's MPSC queue unless the
+	// connection has already failed. It NEVER blocks: the pool workers
+	// are shared by every connection, so a peer that sends requests but
+	// stops reading responses (runaway write queue behind a stalled
+	// writer) must cost this connection its life, not stall the whole
+	// listener.
 	enqueue := func(f outFrame) {
-		// Two single-channel non-blocking ops instead of one three-case
-		// select: the compiler lowers these to selectnbsend/selectnbrecv,
-		// skipping the general selectgo path on every response frame.
-		select {
-		case writeCh <- f:
+		if connDown.Load() || !q.push(f) {
+			// Already dead (or the queue closed under teardown): the
+			// writer is gone, just drop the frame.
+			wire.PutBuffer(f.payload)
 			return
-		default:
 		}
-		select {
-		case <-connDead:
-			// Already dead: the writer is gone, just drop the frame.
-		default:
+		if q.len() > stallLimit {
 			markDead(errStalled)
 		}
-		wire.PutBuffer(f.payload)
 	}
 
 	fr := wire.NewFrameReader(conn)
@@ -514,7 +572,7 @@ readLoop:
 	// under a write deadline, so a peer that half-closed its read side
 	// without draining responses cannot pin this goroutine (or leak the
 	// connection) past writeTimeout.
-	close(writerStop)
+	q.close()
 	<-writerDone
 	markDead(nil)
 	l.mu.Lock()
@@ -529,24 +587,53 @@ func isDecodeFraming(err error) bool {
 	return errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrFrameVersion)
 }
 
-// Dial connects to a served TCP address.
+// Dial connects to a served address. With Ring set and the address
+// served by this same transport instance, the endpoint comes back
+// wired over shared-memory rings instead of a socket (identical
+// semantics, no syscalls); otherwise it is a TCP connection.
 func (t *TCP) Dial(addr string) (Endpoint, error) {
+	if t.Ring {
+		if l := t.lookupLocal(addr); l != nil {
+			if e, ok := t.dialRing(l); ok {
+				return e, nil
+			}
+			// Listener closed between lookup and adopt: fall through to
+			// the socket path for the dial-refused error.
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	return t.newEndpoint(conn), nil
+}
+
+// dialRing wires an endpoint to a co-located listener over a fresh
+// ring pair. false means the listener refused (already closed).
+func (t *TCP) dialRing(l *tcpListener) (Endpoint, bool) {
+	cli, srv := newRingPair(t.RingSize, &t.stats)
+	if !l.adopt(srv) {
+		return nil, false
+	}
+	t.stats.RingConns.Add(1)
+	return t.newEndpoint(cli), true
+}
+
+// newEndpoint builds the multiplexed client side over an established
+// byte carrier and starts its reader and writer goroutines.
+func (t *TCP) newEndpoint(conn wireConn) *tcpEndpoint {
 	e := &tcpEndpoint{
 		conn:     conn,
 		timeout:  t.CallTimeout,
 		zeroCopy: t.ZeroCopyResponses,
 		stats:    &t.stats,
-		writeCh:  make(chan outFrame, 256),
+		q:        newWriteQueue(&t.stats),
 		done:     make(chan struct{}),
 		pending:  map[uint64]chan callResult{},
 	}
 	go e.readLoop()
-	go writeLoop(conn, e.writeCh, e.done, t.writeTimeout(), &t.stats, e.shutdown)
-	return e, nil
+	go writeLoop(conn, e.q, t.writeTimeout(), &t.stats, e.shutdown)
+	return e
 }
 
 type callResult struct {
@@ -595,17 +682,17 @@ func putTimer(t *time.Timer) {
 	}
 }
 
-// tcpEndpoint is the multiplexed client side of one connection. Any
-// number of goroutines may Call concurrently: each call is assigned a
-// frame ID, queued to the writer, and parked until the reader delivers
-// the matching response. Close (or connection death) interrupts every
-// pending call.
+// tcpEndpoint is the multiplexed client side of one connection (socket
+// or ring). Any number of goroutines may Call concurrently: each call
+// is assigned a frame ID, linked onto the writer's MPSC queue, and
+// parked until the reader delivers the matching response. Close (or
+// connection death) interrupts every pending call.
 type tcpEndpoint struct {
-	conn     net.Conn
+	conn     wireConn
 	timeout  time.Duration
 	zeroCopy bool
 	stats    *Stats
-	writeCh  chan outFrame
+	q        *writeQueue
 	done     chan struct{} // closed once on shutdown
 
 	mu      sync.Mutex
@@ -656,21 +743,12 @@ func (e *tcpEndpoint) callContext(ctx context.Context, m *wire.Message) (*wire.M
 	e.stats.InFlight.Add(1)
 	defer e.stats.InFlight.Add(-1)
 
-	select {
-	case e.writeCh <- outFrame{id: id, payload: payload}:
-	default:
-		// Queue full (or endpoint dying): take the slow path.
-		select {
-		case e.writeCh <- outFrame{id: id, payload: payload}:
-		case <-e.done:
-			e.forget(id, ch)
-			wire.PutBuffer(payload)
-			return nil, e.terminalErr()
-		case <-ctx.Done():
-			e.forget(id, ch)
-			wire.PutBuffer(payload)
-			return nil, ctx.Err()
-		}
+	// The single enqueue path: the MPSC push never blocks (callers are
+	// naturally bounded — each has at most one frame outstanding), so
+	// the only slow path is an endpoint already torn down.
+	if !e.enqueueFrame(outFrame{id: id, payload: payload}) {
+		e.forget(id, ch)
+		return nil, e.terminalErr()
 	}
 
 	var timeoutC <-chan time.Time
@@ -710,6 +788,17 @@ func (e *tcpEndpoint) callContext(ctx context.Context, m *wire.Message) (*wire.M
 	}
 }
 
+// enqueueFrame links one request frame onto the writer's queue. On
+// refusal (endpoint torn down) it recycles the payload and returns
+// false; the caller resolves the error.
+func (e *tcpEndpoint) enqueueFrame(f outFrame) bool {
+	if e.q.push(f) {
+		return true
+	}
+	wire.PutBuffer(f.payload)
+	return false
+}
+
 // downResult resolves a call that lost the race with endpoint teardown:
 // the response may have been delivered in the same instant the endpoint
 // went down, and if so it is preferred over the terminal error.
@@ -746,7 +835,8 @@ func (e *tcpEndpoint) terminalErr() error {
 }
 
 // shutdown takes the endpoint down exactly once: it records the
-// terminal error, closes the connection, and fails every pending call.
+// terminal error, closes the connection and write queue, and fails
+// every pending call.
 func (e *tcpEndpoint) shutdown(cause error) {
 	e.mu.Lock()
 	if e.down {
@@ -766,6 +856,7 @@ func (e *tcpEndpoint) shutdown(cause error) {
 	}
 	e.mu.Unlock()
 	close(e.done)
+	e.q.close()
 	e.conn.Close()
 }
 
