@@ -16,6 +16,9 @@
 //	mailbench -simstats         # print simulator scheduler counters
 //	mailbench -trace DS500      # span tree + per-stage breakdown of one scenario
 //	mailbench -multicore        # live RPC scale-out: GOMAXPROCS × transport × conns (A9)
+//	mailbench -fleet            # session-sharded fleet control plane (A10)
+//	mailbench -fleet -fleet-sessions 400 -fleet-nodes 32   # reduced scale (CI)
+//	mailbench -fleet -timing    # add wall-clock wave latency (non-deterministic)
 //
 // Scenario runs fan out over a bounded worker pool; output is
 // byte-identical for every -workers value (each scenario is its own
@@ -53,6 +56,13 @@ func main() {
 	callers := flag.String("callers", "1,64", "comma-separated caller counts for -multicore")
 	cellDur := flag.Duration("dur", 2*time.Second, "measurement time per -multicore cell")
 	gmpList := flag.String("gomaxprocs", "1,2,4", "comma-separated GOMAXPROCS values for -multicore")
+	fleetRun := flag.Bool("fleet", false, "session-sharded fleet control plane benchmark (A10)")
+	fleetSessions := flag.Int("fleet-sessions", 0, "override -fleet session count (default 5000)")
+	fleetNodes := flag.Int("fleet-nodes", 0, "override -fleet Waxman topology size (default 128)")
+	fleetSites := flag.Int("fleet-sites", 0, "override -fleet client site count (default 8)")
+	fleetEvents := flag.Int("fleet-events", 0, "override -fleet scripted link event count (default 4)")
+	fleetShards := flag.Int("fleet-shards", 0, "override -fleet shard count (default 8)")
+	timing := flag.Bool("timing", false, "add wall-clock wave latency to -fleet output (non-deterministic)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -102,6 +112,33 @@ func main() {
 		}
 		fmt.Println("Planner scaling on Waxman topologies (ablation A3):")
 		fmt.Print(bench.ScalingTable(rows))
+	case *fleetRun:
+		fc := bench.DefaultFleetConfig()
+		if *fleetSessions > 0 {
+			fc.Sessions = *fleetSessions
+		}
+		if *fleetNodes > 0 {
+			fc.Nodes = *fleetNodes
+		}
+		if *fleetSites > 0 {
+			fc.Sites = *fleetSites
+		}
+		if *fleetEvents > 0 {
+			fc.Events = *fleetEvents
+		}
+		if *fleetShards > 0 {
+			fc.Shards = *fleetShards
+		}
+		fc.Workers = *workers
+		fc.Timing = *timing
+		fmt.Printf("Fleet control plane (A10): %d sessions, %d shards, %d-node Waxman, %d link events:\n",
+			fc.Sessions, fc.Shards, fc.Nodes, fc.Events)
+		res, err := bench.RunFleet(fc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FleetTable(res))
 	case *multicore:
 		gmp, err := parseCounts(*gmpList)
 		if err != nil {

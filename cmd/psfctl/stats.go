@@ -5,13 +5,18 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"strings"
 
+	"partsvc/internal/adapt"
 	"partsvc/internal/bench"
 	"partsvc/internal/coherence"
+	"partsvc/internal/fleet"
 	"partsvc/internal/mail"
 	"partsvc/internal/metrics"
+	"partsvc/internal/netmon"
 	"partsvc/internal/planner"
 	"partsvc/internal/seccrypto"
+	"partsvc/internal/sim"
 	"partsvc/internal/spec"
 	"partsvc/internal/topology"
 	"partsvc/internal/trace"
@@ -29,6 +34,66 @@ func registerPoolSection(reg *metrics.Registry) {
 			metrics.KVf("hits", "%d", p.Hits),
 			metrics.KVf("misses", "%d", p.Misses),
 			metrics.KVf("hit_rate", "%.1f%%", 100*p.HitRate()),
+		}
+	})
+}
+
+// registerFleetSection drives the session-sharded fleet control plane
+// through a relay kill/recovery/flap cycle on the case-study topology
+// (virtual clock) and exposes the multi-session counters: sessions per
+// shard, replan waves with sessions-per-wave quantiles, rate-limited
+// cutovers, and hysteresis-suppressed flaps. The fleet.* counters and
+// wave histograms land in reg as a side effect and render alongside.
+func registerFleetSection(reg *metrics.Registry) {
+	env := sim.NewEnv()
+	net := topology.CaseStudy()
+	mon := netmon.New(net)
+	mgr := fleet.New(fleet.Config{
+		Shards: 4, Workers: 2, DebounceMS: 20,
+		CutoverRatePerSec: 1, CutoverBurst: 1, HysteresisMS: 60000,
+	}, spec.MailService(), net, mon, adapt.NewSimScheduler(env))
+	if _, err := mgr.AddPrimary(spec.CompMailServer, topology.NYServer); err != nil {
+		panic(err) // static case-study construction; an error is a bug
+	}
+	for i := 0; i < 8; i++ {
+		req := planner.Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50}
+		if i%2 == 1 {
+			req.ClientNode, req.User = topology.SeaClient, "Carol"
+		}
+		mgr.AddSession(fmt.Sprintf("fleet-s%d", i), req)
+	}
+	mgr.Bootstrap()
+	mgr.Start()
+	// Relay down/up/down/up: the first recovery rewires Seattle's chains
+	// under the token bucket; the second outage forces repairs; the
+	// second recovery inside the hysteresis window is suppressed as flap.
+	env.At(100, func() { _ = mon.ReportNodeDown(topology.SDGateway) })
+	env.At(10000, func() { _ = mon.ReportNodeUp(topology.SDGateway) })
+	env.At(20000, func() { _ = mon.ReportNodeDown(topology.SDGateway) })
+	env.At(30000, func() { _ = mon.ReportNodeUp(topology.SDGateway) })
+	env.RunUntil(60000)
+	mgr.Stop()
+	env.Stop()
+
+	reg.RegisterSection("fleet", func() []metrics.KV {
+		shards := mgr.SessionsPerShard()
+		parts := make([]string, len(shards))
+		for i, c := range shards {
+			parts[i] = fmt.Sprint(c)
+		}
+		waveSessions := reg.Histogram("fleet.wave_sessions")
+		waveSpan := reg.Histogram("fleet.wave_span_ms")
+		return []metrics.KV{
+			metrics.KVf("sessions", "%d", len(mgr.Sessions())),
+			metrics.KVf("sessions_per_shard", "[%s]", strings.Join(parts, " ")),
+			metrics.KVf("instances_shared", "%d", mgr.Instances()),
+			metrics.KVf("replan_waves", "%d", reg.Counter("fleet.waves").Load()),
+			metrics.KVf("sessions_per_wave_p50", "%.0f", waveSessions.Quantile(0.50)),
+			metrics.KVf("sessions_per_wave_p99", "%.0f", waveSessions.Quantile(0.99)),
+			metrics.KVf("wave_span_ms_p50", "%.0f", waveSpan.Quantile(0.50)),
+			metrics.KVf("wave_span_ms_p99", "%.0f", waveSpan.Quantile(0.99)),
+			metrics.KVf("cutovers_rate_limited", "%d", reg.Counter("fleet.cutovers_rate_limited").Load()),
+			metrics.KVf("flaps_suppressed", "%d", reg.Counter("fleet.flaps_suppressed").Load()),
 		}
 	})
 }
@@ -151,6 +216,7 @@ func runStats(args []string) error {
 	cfg.SendsPerClient = 20
 	bench.RunScenario(cfg, bench.Scenarios()[1], 4)
 
+	registerFleetSection(reg)
 	registerPoolSection(reg)
 	fmt.Print(reg.Render())
 

@@ -20,7 +20,6 @@ package adapt
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"partsvc/internal/metrics"
@@ -186,9 +185,10 @@ type Controller struct {
 	started        bool
 	stopped        bool
 	debounceCancel func() bool
-	probeCancel    func() bool
-	suspicion      map[netmodel.NodeID]int
-	reportedDown   map[netmodel.NodeID]bool
+	pool           *ProbePool
+	poolOwned      bool
+	poolRemoveSrc  func()
+	poolRemoveSub  func()
 	retryCount     map[string]int
 	retryPending   map[string]bool
 }
@@ -206,18 +206,30 @@ func New(cfg Config, mon *netmon.Monitor, exec Executor, sched Scheduler) *Contr
 		adaptations:    reg.Counter("adapt.adaptations"),
 		cutoverFails:   reg.Counter("adapt.cutover_failures"),
 		cutoverMS:      reg.Histogram("adapt.cutover_ms"),
-		suspicion:      map[netmodel.NodeID]int{},
-		reportedDown:   map[netmodel.NodeID]bool{},
 		retryCount:     map[string]int{},
 		retryPending:   map[string]bool{},
 	}
 }
 
 // SetProber installs the failure detector and its target enumerator.
-// Must be called before Start.
+// Must be called before Start. The controller wraps them in a private
+// ProbePool; controllers that should share heartbeat streams use
+// SetProbePool instead.
 func (c *Controller) SetProber(p Prober, targets func() map[netmodel.NodeID]string) {
 	c.prober = p
 	c.targets = targets
+}
+
+// SetProbePool attaches the controller to a shared failure detector:
+// its target enumerator (when set via SetProber, or passed to
+// Engine wiring) feeds the pool, liveness transitions flow back, and
+// the pool probes each node once per round no matter how many
+// controllers registered it. Must be called before Start.
+func (c *Controller) SetProbePool(p *ProbePool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool = p
+	c.poolOwned = false
 }
 
 // OnEvent installs an event sink (streamed to logs by psfctl, asserted
@@ -233,8 +245,8 @@ func (c *Controller) Track(s *Session) {
 	c.sessions = append(c.sessions, s)
 }
 
-// Start subscribes to the monitor and, when configured, starts the
-// probe loop.
+// Start subscribes to the monitor and, when configured, starts (or
+// joins) the failure-detection loop.
 func (c *Controller) Start() {
 	c.mu.Lock()
 	if c.started {
@@ -242,10 +254,24 @@ func (c *Controller) Start() {
 		return
 	}
 	c.started = true
+	pool := c.pool
+	if pool == nil && c.cfg.ProbeIntervalMS > 0 && c.prober != nil && c.targets != nil {
+		// Standalone mode: a private pool reproduces the pre-pool
+		// probing behavior exactly (same config knobs, same cadence).
+		pool = NewProbePool(c.cfg, c.prober, c.sched)
+		c.pool = pool
+		c.poolOwned = true
+	}
+	if pool != nil {
+		if c.targets != nil {
+			c.poolRemoveSrc = pool.AddSource(c.targets)
+		}
+		c.poolRemoveSub = pool.Subscribe(c.onLiveness)
+	}
 	c.mu.Unlock()
 	c.mon.Subscribe(c.onChanges)
-	if c.cfg.ProbeIntervalMS > 0 && c.prober != nil && c.targets != nil {
-		c.scheduleProbe()
+	if pool != nil {
+		pool.Start()
 	}
 }
 
@@ -255,14 +281,23 @@ func (c *Controller) Start() {
 func (c *Controller) Stop() {
 	c.mu.Lock()
 	c.stopped = true
-	debounce, probe := c.debounceCancel, c.probeCancel
-	c.debounceCancel, c.probeCancel = nil, nil
+	debounce := c.debounceCancel
+	c.debounceCancel = nil
+	removeSrc, removeSub := c.poolRemoveSrc, c.poolRemoveSub
+	c.poolRemoveSrc, c.poolRemoveSub = nil, nil
+	pool, owned := c.pool, c.poolOwned
 	c.mu.Unlock()
 	if debounce != nil {
 		debounce()
 	}
-	if probe != nil {
-		probe()
+	if removeSrc != nil {
+		removeSrc()
+	}
+	if removeSub != nil {
+		removeSub()
+	}
+	if pool != nil && owned {
+		pool.Stop()
 	}
 }
 
@@ -418,57 +453,16 @@ func (c *Controller) clearRetry(s *Session) {
 	delete(c.retryCount, s.Name)
 }
 
-// scheduleProbe arms the next heartbeat round.
-func (c *Controller) scheduleProbe() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.stopped {
+// onLiveness receives pool transitions: a down declaration becomes a
+// suspect event plus a monitor report (idempotent when several
+// controllers share a monitor), a recovery clears it.
+func (c *Controller) onLiveness(node netmodel.NodeID, down bool) {
+	if down {
+		c.emit("suspect", "", fmt.Sprintf("node %s unresponsive after %d probes", node, c.pool.Threshold()))
+		_ = c.mon.ReportNodeDown(node)
 		return
 	}
-	c.probeCancel = c.sched.After(c.cfg.ProbeIntervalMS, c.probeRound)
-}
-
-// probeRound heartbeats every known control address. It holds no
-// controller lock while probing or reporting: reports re-enter the
-// controller synchronously through the monitor's notify path.
-func (c *Controller) probeRound() {
-	defer c.scheduleProbe()
-	targets := c.targets()
-	// Probe in sorted node order: map iteration order would make the
-	// simulated event sequence non-reproducible.
-	nodes := make([]netmodel.NodeID, 0, len(targets))
-	for node := range targets {
-		nodes = append(nodes, node)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	var declareDown, declareUp []netmodel.NodeID
-	for _, node := range nodes {
-		c.probesSent.Inc()
-		err := c.prober.Probe(node, targets[node], c.cfg.ProbeTimeoutMS)
-		c.mu.Lock()
-		if err != nil {
-			c.probesFailed.Inc()
-			c.suspicion[node]++
-			if c.suspicion[node] >= c.cfg.SuspicionThreshold && !c.reportedDown[node] {
-				c.reportedDown[node] = true
-				declareDown = append(declareDown, node)
-			}
-		} else {
-			c.suspicion[node] = 0
-			if c.reportedDown[node] {
-				delete(c.reportedDown, node)
-				declareUp = append(declareUp, node)
-			}
-		}
-		c.mu.Unlock()
-	}
-	for _, node := range declareDown {
-		c.emit("suspect", "", fmt.Sprintf("node %s unresponsive after %d probes", node, c.cfg.SuspicionThreshold))
-		_ = c.mon.ReportNodeDown(node)
-	}
-	for _, node := range declareUp {
-		_ = c.mon.ReportNodeUp(node)
-	}
+	_ = c.mon.ReportNodeUp(node)
 }
 
 func diffSummary(d *planner.Diff) string {

@@ -1,0 +1,266 @@
+package adapt
+
+import (
+	"sort"
+	"sync"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/netmodel"
+)
+
+// ProbePool is the shared failure detector: one heartbeat stream per
+// transport endpoint no matter how many controllers or sessions care
+// about the node behind it. Before the pool, every controller ran its
+// own probe loop, so a node hosting placements of N sessions absorbed
+// N heartbeats per interval — the classic fan-out the fleet manager
+// cannot afford at 5k sessions. Registrants acquire endpoints
+// (refcounted) or contribute target enumerators; each probe round walks
+// the deduplicated union once, keeps the suspicion counts, and fans
+// out down/up *transitions* — which are cheap — instead of probes —
+// which are not.
+type ProbePool struct {
+	intervalMS float64
+	timeoutMS  float64
+	threshold  int
+	prober     Prober
+	sched      Scheduler
+
+	probesSent, probesFailed *metrics.Counter
+	probesDeduped            *metrics.Counter
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	cancel    func() bool
+	refs      map[netmodel.NodeID]*poolTarget
+	sources   map[int]func() map[netmodel.NodeID]string
+	nextSrc   int
+	subs      map[int]func(node netmodel.NodeID, down bool)
+	nextSub   int
+	suspicion map[netmodel.NodeID]int
+	down      map[netmodel.NodeID]bool
+	rounds    uint64
+}
+
+type poolTarget struct {
+	addr string
+	refs int
+}
+
+// NewProbePool builds a pool probing every registered endpoint each
+// interval. The suspicion threshold and probe timing come from the same
+// Config knobs a standalone controller uses.
+func NewProbePool(cfg Config, prober Prober, sched Scheduler) *ProbePool {
+	cfg = cfg.withDefaults()
+	reg := metrics.DefaultRegistry
+	return &ProbePool{
+		intervalMS:    cfg.ProbeIntervalMS,
+		timeoutMS:     cfg.ProbeTimeoutMS,
+		threshold:     cfg.SuspicionThreshold,
+		prober:        prober,
+		sched:         sched,
+		probesSent:    reg.Counter("adapt.probes_sent"),
+		probesFailed:  reg.Counter("adapt.probes_failed"),
+		probesDeduped: reg.Counter("adapt.probes_deduped"),
+		refs:          map[netmodel.NodeID]*poolTarget{},
+		sources:       map[int]func() map[netmodel.NodeID]string{},
+		subs:          map[int]func(node netmodel.NodeID, down bool){},
+		suspicion:     map[netmodel.NodeID]int{},
+		down:          map[netmodel.NodeID]bool{},
+	}
+}
+
+// Threshold returns the pool's suspicion threshold (controllers quote
+// it in their suspect events).
+func (p *ProbePool) Threshold() int { return p.threshold }
+
+// Acquire registers interest in an endpoint, refcounted: the first
+// acquisition adds the node to the probe set, later ones just bump the
+// count. Release undoes one acquisition.
+func (p *ProbePool) Acquire(node netmodel.NodeID, addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.refs[node]
+	if t == nil {
+		t = &poolTarget{}
+		p.refs[node] = t
+	}
+	t.addr = addr
+	t.refs++
+}
+
+// Release drops one acquisition of the node; the last release removes
+// it from the probe set and forgets its suspicion state.
+func (p *ProbePool) Release(node netmodel.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.refs[node]
+	if t == nil {
+		return
+	}
+	t.refs--
+	if t.refs <= 0 {
+		delete(p.refs, node)
+		delete(p.suspicion, node)
+	}
+}
+
+// AddSource registers a dynamic target enumerator (e.g. a controller's
+// Engine.ControlAddrs) consulted every round, and returns its removal
+// function. Enumerated targets dedupe against each other and against
+// acquired endpoints.
+func (p *ProbePool) AddSource(fn func() map[netmodel.NodeID]string) (remove func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextSrc
+	p.nextSrc++
+	p.sources[id] = fn
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.sources, id)
+	}
+}
+
+// Subscribe registers a liveness-transition callback (down=true on
+// declaration, down=false on recovery) and returns its removal
+// function. Callbacks run outside pool locks, in registration order,
+// with node transitions in sorted node order.
+func (p *ProbePool) Subscribe(fn func(node netmodel.NodeID, down bool)) (remove func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextSub
+	p.nextSub++
+	p.subs[id] = fn
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.subs, id)
+	}
+}
+
+// Start arms the probe loop. Idempotent.
+func (p *ProbePool) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started || p.stopped || p.intervalMS <= 0 {
+		return
+	}
+	p.started = true
+	p.cancel = p.sched.After(p.intervalMS, p.round)
+}
+
+// Stop cancels the loop; a round already running finishes.
+func (p *ProbePool) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	cancel := p.cancel
+	p.cancel = nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Rounds returns how many probe rounds have completed.
+func (p *ProbePool) Rounds() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds
+}
+
+// gather unions acquired endpoints with every source's enumeration,
+// counting the duplicates the pool just saved.
+func (p *ProbePool) gather() map[netmodel.NodeID]string {
+	p.mu.Lock()
+	targets := make(map[netmodel.NodeID]string, len(p.refs))
+	for node, t := range p.refs {
+		targets[node] = t.addr
+		if t.refs > 1 {
+			p.probesDeduped.Add(int64(t.refs - 1))
+		}
+	}
+	sources := make([]func() map[netmodel.NodeID]string, 0, len(p.sources))
+	for _, fn := range p.sources {
+		sources = append(sources, fn)
+	}
+	p.mu.Unlock()
+	for _, fn := range sources {
+		for node, addr := range fn() {
+			if _, dup := targets[node]; dup {
+				p.probesDeduped.Inc()
+				continue
+			}
+			targets[node] = addr
+		}
+	}
+	return targets
+}
+
+// round heartbeats every target once and fans transitions out to the
+// subscribers. Like the pre-pool controller loop, it probes in sorted
+// node order so simulated event sequences stay reproducible, and it
+// holds no pool lock while probing or notifying: subscribers typically
+// report into a monitor whose notify path re-enters controllers
+// synchronously.
+func (p *ProbePool) round() {
+	defer func() {
+		p.mu.Lock()
+		p.rounds++
+		if !p.stopped {
+			p.cancel = p.sched.After(p.intervalMS, p.round)
+		}
+		p.mu.Unlock()
+	}()
+	targets := p.gather()
+	nodes := make([]netmodel.NodeID, 0, len(targets))
+	for node := range targets {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var declareDown, declareUp []netmodel.NodeID
+	for _, node := range nodes {
+		p.probesSent.Inc()
+		err := p.prober.Probe(node, targets[node], p.timeoutMS)
+		p.mu.Lock()
+		if err != nil {
+			p.probesFailed.Inc()
+			p.suspicion[node]++
+			if p.suspicion[node] >= p.threshold && !p.down[node] {
+				p.down[node] = true
+				declareDown = append(declareDown, node)
+			}
+		} else {
+			p.suspicion[node] = 0
+			if p.down[node] {
+				delete(p.down, node)
+				declareUp = append(declareUp, node)
+			}
+		}
+		p.mu.Unlock()
+	}
+	if len(declareDown) == 0 && len(declareUp) == 0 {
+		return
+	}
+	p.mu.Lock()
+	ids := make([]int, 0, len(p.subs))
+	for id := range p.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	subs := make([]func(netmodel.NodeID, bool), 0, len(ids))
+	for _, id := range ids {
+		subs = append(subs, p.subs[id])
+	}
+	p.mu.Unlock()
+	for _, node := range declareDown {
+		for _, fn := range subs {
+			fn(node, true)
+		}
+	}
+	for _, node := range declareUp {
+		for _, fn := range subs {
+			fn(node, false)
+		}
+	}
+}

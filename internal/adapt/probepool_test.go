@@ -1,0 +1,152 @@
+package adapt_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"partsvc/internal/adapt"
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/sim"
+)
+
+// TestProbePoolDedupesAcrossControllers: two controllers interested in
+// the same nodes, attached to one shared pool, must cost one probe per
+// node per round — not one per controller — while both still observe
+// the down transition and the (shared) monitor flips the node exactly
+// once.
+func TestProbePoolDedupesAcrossControllers(t *testing.T) {
+	env := sim.NewEnv()
+	sched := adapt.NewSimScheduler(env)
+	net := twoNodeNet(t)
+	mon := netmon.New(net)
+
+	var mu sync.Mutex
+	probes := map[netmodel.NodeID]int{}
+	dead := true
+	prober := adapt.ProberFunc(func(node netmodel.NodeID, addr string, timeoutMS float64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		probes[node]++
+		if node == "b" && dead {
+			return errors.New("probe timeout")
+		}
+		return nil
+	})
+	pool := adapt.NewProbePool(adapt.Config{ProbeIntervalMS: 10, SuspicionThreshold: 2}, prober, sched)
+
+	targets := func() map[netmodel.NodeID]string {
+		return map[netmodel.NodeID]string{"a": "addr-a", "b": "addr-b"}
+	}
+	mkCtrl := func() (*adapt.Controller, *[]adapt.Event) {
+		exec := &fakeExec{diff: unchangedDiff()}
+		c := adapt.New(adapt.Config{DebounceMS: 5, ProbeIntervalMS: 10, SuspicionThreshold: 2}, mon, exec, sched)
+		c.SetProber(prober, targets)
+		c.SetProbePool(pool)
+		var events []adapt.Event
+		var emu sync.Mutex
+		c.OnEvent(func(e adapt.Event) {
+			emu.Lock()
+			events = append(events, e)
+			emu.Unlock()
+		})
+		return c, &events
+	}
+	c1, ev1 := mkCtrl()
+	c2, ev2 := mkCtrl()
+	c1.Start()
+	c2.Start()
+
+	env.At(35, func() { // after the down declaration (2nd miss at t=20)
+		mu.Lock()
+		defer mu.Unlock()
+		dead = false
+	})
+	env.RunUntil(100)
+
+	// 10 rounds in 100ms, 2 nodes: one probe per node per round, no
+	// matter that two controllers registered the same enumeration.
+	mu.Lock()
+	pa, pb := probes["a"], probes["b"]
+	mu.Unlock()
+	if pa != 10 || pb != 10 {
+		t.Fatalf("probes a=%d b=%d, want 10/10 (one per node per round)", pa, pb)
+	}
+	if got := pool.Rounds(); got != 10 {
+		t.Fatalf("pool ran %d rounds, want 10", got)
+	}
+
+	suspects := func(evs *[]adapt.Event) int {
+		n := 0
+		for _, e := range *evs {
+			if e.Kind == "suspect" {
+				n++
+				if e.Detail != "node b unresponsive after 2 probes" {
+					t.Fatalf("suspect detail = %q", e.Detail)
+				}
+			}
+		}
+		return n
+	}
+	if suspects(ev1) != 1 || suspects(ev2) != 1 {
+		t.Fatalf("each controller must see exactly one suspect event, got %d/%d", suspects(ev1), suspects(ev2))
+	}
+	node, _ := net.Node("b")
+	if node.Down {
+		t.Fatal("node b must be back up after probes recover")
+	}
+}
+
+// TestProbePoolRefcountedAcquire: acquisitions are refcounted — the
+// node stays probed until the last Release, and re-registration by a
+// second holder costs no extra probes.
+func TestProbePoolRefcountedAcquire(t *testing.T) {
+	env := sim.NewEnv()
+	sched := adapt.NewSimScheduler(env)
+	var mu sync.Mutex
+	probes := 0
+	prober := adapt.ProberFunc(func(node netmodel.NodeID, addr string, timeoutMS float64) error {
+		mu.Lock()
+		probes++
+		mu.Unlock()
+		return nil
+	})
+	pool := adapt.NewProbePool(adapt.Config{ProbeIntervalMS: 10}, prober, sched)
+	pool.Acquire("n1", "addr-1")
+	pool.Acquire("n1", "addr-1") // second session, same endpoint
+	pool.Start()
+
+	env.At(25, func() { pool.Release("n1") }) // one holder left: keep probing
+	env.At(45, func() { pool.Release("n1") }) // last holder gone: stop
+	env.RunUntil(100)
+
+	// Rounds at 10,20 (2 holders), 30,40 (1 holder) = 4 probes; rounds
+	// from t=50 on have no targets.
+	mu.Lock()
+	got := probes
+	mu.Unlock()
+	if got != 4 {
+		t.Fatalf("probes = %d, want 4 (refcount keeps exactly one stream, release stops it)", got)
+	}
+}
+
+// TestProbePoolSubscriberRemoval: a removed subscriber receives no
+// further transitions.
+func TestProbePoolSubscriberRemoval(t *testing.T) {
+	env := sim.NewEnv()
+	sched := adapt.NewSimScheduler(env)
+	prober := adapt.ProberFunc(func(netmodel.NodeID, string, float64) error {
+		return errors.New("dead")
+	})
+	pool := adapt.NewProbePool(adapt.Config{ProbeIntervalMS: 10, SuspicionThreshold: 1}, prober, sched)
+	pool.Acquire("n1", "addr-1")
+	calls := 0
+	remove := pool.Subscribe(func(netmodel.NodeID, bool) { calls++ })
+	remove()
+	pool.Start()
+	env.RunUntil(50)
+	if calls != 0 {
+		t.Fatalf("removed subscriber called %d times", calls)
+	}
+}

@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"partsvc/internal/adapt"
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/planner"
+	"partsvc/internal/sim"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// world is one self-contained fleet universe on the case-study
+// topology: virtual clock, shared network, manager with the primary
+// pinned in New York.
+type world struct {
+	env *sim.Env
+	net *netmodel.Network
+	mon *netmon.Monitor
+	mgr *Manager
+}
+
+func newWorld(t *testing.T, cfg Config, sessions int) *world {
+	t.Helper()
+	w := &world{env: sim.NewEnv(), net: topology.CaseStudy()}
+	w.mon = netmon.New(w.net)
+	w.mgr = New(cfg, spec.MailService(), w.net, w.mon, adapt.NewSimScheduler(w.env))
+	if _, err := w.mgr.AddPrimary(spec.CompMailServer, topology.NYServer); err != nil {
+		t.Fatal(err)
+	}
+	// Sessions alternate over two request shapes: Alice from San Diego
+	// and Carol from Seattle — the fleet-scale analogue of the
+	// case-study's warm chain plus remote client.
+	shapes := []planner.Request{
+		{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50},
+		{Interface: spec.IfaceClient, ClientNode: topology.SeaClient, User: "Carol", RateRPS: 50},
+	}
+	for i := 0; i < sessions; i++ {
+		w.mgr.AddSession(fmt.Sprintf("s%03d", i), shapes[i%len(shapes)])
+	}
+	return w
+}
+
+// transcript renders the fleet's full observable history: per-session
+// event streams and final deployments, in global session order. Two
+// runs are equivalent iff their transcripts are byte-identical.
+func (w *world) transcript() string {
+	var b strings.Builder
+	for _, s := range w.mgr.Sessions() {
+		fmt.Fprintf(&b, "%s dep=%s\n", s.Name, depSummary(s.Deployment()))
+		for _, e := range s.Events() {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// TestBootstrapSharesComputationsAndInstances: N sessions over two
+// request shapes must bootstrap with exactly two plan computations
+// (everyone else hits the wave memo) and share instances through the
+// refcounted registry rather than deploying per session.
+func TestBootstrapSharesComputationsAndInstances(t *testing.T) {
+	const n = 12
+	w := newWorld(t, Config{Shards: 4, Workers: 2}, n)
+	rep := w.mgr.Bootstrap()
+
+	if rep.Sessions != n {
+		t.Fatalf("bootstrap covered %d sessions, want %d", rep.Sessions, n)
+	}
+	if rep.PlanComputes != 2 {
+		t.Fatalf("bootstrap ran %d plan computations, want 2 (one per request shape)", rep.PlanComputes)
+	}
+	if rep.MemoHits != n-2 {
+		t.Fatalf("memo hits = %d, want %d", rep.MemoHits, n-2)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d sessions failed to bootstrap", rep.Failed)
+	}
+	for _, s := range w.mgr.Sessions() {
+		if s.Deployment() == nil {
+			t.Fatalf("session %s has no deployment after bootstrap", s.Name)
+		}
+	}
+	// Same-shape sessions share every instance: the registry holds the
+	// union of two chains (plus the pinned primary), nowhere near one
+	// chain per session.
+	if got := w.mgr.Instances(); got >= n {
+		t.Fatalf("registry holds %d instances for %d sessions — sharing is broken", got, n)
+	}
+}
+
+// TestLinkEventCoalescesIntoOneWave: a burst of reports against one
+// link must debounce into a single wave covering the sessions whose
+// deployments traverse it, replanned with one computation per distinct
+// session shape.
+func TestLinkEventCoalescesIntoOneWave(t *testing.T) {
+	w := newWorld(t, Config{Shards: 4, Workers: 2, DebounceMS: 20}, 8)
+	w.mgr.Bootstrap()
+	var reports []WaveReport
+	w.mgr.OnWave(func(r WaveReport) { reports = append(reports, r) })
+	w.mgr.Start()
+
+	w.env.At(100, func() {
+		if err := w.mon.ReportLink(topology.SDGateway, topology.SeaGW, 1500, 1, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	w.env.At(110, func() { // same burst: lands in the same debounce window
+		if err := w.mon.ReportLink(topology.SDGateway, topology.SeaGW, 1600, 1, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	w.env.RunUntil(5000)
+
+	if len(reports) != 1 {
+		t.Fatalf("got %d waves, want 1 (burst must coalesce)", len(reports))
+	}
+	r := reports[0]
+	if r.Sessions == 0 {
+		t.Fatal("wave covered no sessions; the degraded link is on deployed paths")
+	}
+	if r.PlanComputes > 2 {
+		t.Fatalf("wave ran %d computations for %d sessions, want <= 2 (one per shape)", r.PlanComputes, r.Sessions)
+	}
+	if r.Cutovers+r.Unchanged+r.Suppressed+r.Deferred+r.Failed != r.Sessions {
+		t.Fatalf("wave accounting does not add up: %+v", r)
+	}
+}
+
+// TestOutputInvariantUnderWorkersAndShards: the same scenario must
+// produce byte-identical transcripts regardless of worker or shard
+// count — workers are pure execution parallelism, and shards only
+// partition state.
+func TestOutputInvariantUnderWorkersAndShards(t *testing.T) {
+	run := func(shards, workers int) string {
+		w := newWorld(t, Config{Shards: shards, Workers: workers, DebounceMS: 20}, 10)
+		w.mgr.Bootstrap()
+		w.mgr.Start()
+		w.env.At(100, func() {
+			_ = w.mon.ReportLink(topology.SDGateway, topology.SeaGW, 1500, 1, nil)
+		})
+		w.env.At(700, func() {
+			_ = w.mon.ReportNodeDown(topology.SDClient)
+		})
+		w.env.RunUntil(5000)
+		return w.transcript()
+	}
+	base := run(4, 1)
+	if base == "" {
+		t.Fatal("empty transcript")
+	}
+	for _, tc := range []struct{ shards, workers int }{{4, 8}, {1, 1}, {8, 4}} {
+		if got := run(tc.shards, tc.workers); got != base {
+			t.Fatalf("transcript diverged at shards=%d workers=%d:\n--- base ---\n%s--- got ---\n%s",
+				tc.shards, tc.workers, base, got)
+		}
+	}
+}
+
+// TestGovernorPacesAndSuppresses drives the San Diego relay node
+// through a down/up/down/up cycle. Its recovery is an optimization
+// opportunity for the Seattle sessions (a warm trust-4 chain becomes
+// reachable), so the first recovery triggers a wave of rewires that the
+// 1/s token bucket paces out one commit per second. The second outage
+// partitions those sessions from their new placements — a broken
+// deployment is a forced cutover, so hysteresis must NOT stop the
+// repair. The second recovery then invites the same optimization rewire
+// again, inside the hysteresis window: that is a flap, and the governor
+// must suppress it entirely.
+func TestGovernorPacesAndSuppresses(t *testing.T) {
+	w := newWorld(t, Config{
+		Shards: 4, Workers: 2, DebounceMS: 20,
+		CutoverRatePerSec: 1, CutoverBurst: 1, HysteresisMS: 60000,
+	}, 8)
+	w.mgr.Bootstrap()
+	var reports []WaveReport
+	w.mgr.OnWave(func(r WaveReport) { reports = append(reports, r) })
+	w.mgr.Start()
+
+	w.env.At(100, func() { _ = w.mon.ReportNodeDown(topology.SDGateway) })
+	w.env.At(20000, func() { _ = w.mon.ReportNodeUp(topology.SDGateway) })
+	w.env.At(30000, func() { _ = w.mon.ReportNodeDown(topology.SDGateway) })
+	w.env.At(40000, func() { _ = w.mon.ReportNodeUp(topology.SDGateway) })
+	w.env.RunUntil(120000)
+
+	if len(reports) != 4 {
+		t.Fatalf("got %d waves, want 4", len(reports))
+	}
+	recovery, outage, flap := reports[1], reports[2], reports[3]
+
+	// Wave 2 (first recovery): optimization rewires, paced at 1/s.
+	rewires := recovery.Cutovers + recovery.Deferred
+	if rewires < 2 {
+		t.Fatalf("recovery wave rewired %d sessions, want >= 2: %+v", rewires, recovery)
+	}
+	if recovery.Deferred == 0 {
+		t.Fatalf("1/s budget with burst 1 must defer some of %d rewires: %+v", rewires, recovery)
+	}
+	if recovery.Suppressed != 0 {
+		t.Fatalf("no session has cut over yet; nothing to suppress: %+v", recovery)
+	}
+	if recovery.SpanMS == 0 {
+		t.Fatal("deferred commits must stretch the wave span")
+	}
+	// Deferred commits land at token cadence: no two cutovers share an
+	// instant, and successive commits are a full token period apart.
+	var commits []float64
+	for _, s := range w.mgr.Sessions() {
+		for _, e := range s.Events() {
+			if e.Kind == "adapted" && e.Wave == recovery.Wave {
+				commits = append(commits, e.AtMS)
+			}
+		}
+	}
+	if len(commits) != rewires {
+		t.Fatalf("found %d adapted events, want %d", len(commits), rewires)
+	}
+	sort.Float64s(commits)
+	for i := 1; i < len(commits); i++ {
+		if gap := commits[i] - commits[i-1]; gap < 1000 {
+			t.Fatalf("cutovers %.1fms apart despite 1/s budget: %v", gap, commits)
+		}
+	}
+
+	// Wave 3 (second outage): sessions are partitioned from placements
+	// behind the dead relay — forced repairs punch through hysteresis
+	// (at minimum the sessions that just rewired onto San Diego), still
+	// paced by the bucket.
+	if repaired := outage.Cutovers + outage.Deferred; repaired < rewires {
+		t.Fatalf("outage wave repaired %d of %d broken sessions: %+v", repaired, rewires, outage)
+	}
+	if outage.Suppressed != 0 {
+		t.Fatalf("hysteresis suppressed a forced repair: %+v", outage)
+	}
+
+	// Wave 4 (second recovery): the same optimization rewire inside the
+	// hysteresis window is a flap — suppressed outright.
+	if flap.Suppressed < rewires {
+		t.Fatalf("flap wave suppressed %d rewires, want >= %d: %+v", flap.Suppressed, rewires, flap)
+	}
+	if flap.Cutovers+flap.Deferred != 0 {
+		t.Fatalf("flap wave committed %d cutovers inside the anti-flap window: %+v",
+			flap.Cutovers+flap.Deferred, flap)
+	}
+}
+
+// TestNodeKillForcesThroughHysteresis: a node death under a session's
+// deployment is a forced cutover — hysteresis must not suppress it.
+func TestNodeKillForcesThroughHysteresis(t *testing.T) {
+	w := newWorld(t, Config{Shards: 2, Workers: 2, DebounceMS: 20, HysteresisMS: 1e9}, 4)
+	w.mgr.Bootstrap()
+	w.mgr.Start()
+
+	// Find a non-client, non-primary node actually hosting session
+	// placements, and kill it.
+	var victim netmodel.NodeID
+	for _, s := range w.mgr.Sessions() {
+		for _, p := range s.Deployment().Placements {
+			if p.Node != topology.NYServer && p.Node != s.Req.ClientNode {
+				victim = p.Node
+			}
+		}
+	}
+	if victim == "" {
+		t.Skip("no interior placement to kill in this plan shape")
+	}
+	w.env.At(100, func() { _ = w.mon.ReportNodeDown(victim) })
+	w.env.RunUntil(5000)
+
+	for _, s := range w.mgr.Sessions() {
+		for _, p := range s.Deployment().Placements {
+			if p.Node == victim {
+				t.Fatalf("session %s still deployed on dead node %s", s.Name, victim)
+			}
+		}
+	}
+}

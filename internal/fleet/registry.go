@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/planner"
+)
+
+// registry is the fleet's shared view of deployed component instances,
+// refcounted by placement key. Sessions routinely land on the same
+// instances — that is the paper's reuse model, and at fleet scale it is
+// the norm, not the exception — so instance lifecycle must be
+// ownership-counted: the first session to reference a placement deploys
+// it, the last one to leave tears it down, and everything in between is
+// free. The registry also feeds every shard planner's reuse set, which
+// is why its enumeration is sorted: identical content in identical
+// order on every shard is what makes cross-shard fingerprints (and
+// therefore the shared wave memo) line up.
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+
+	deploys, discards *metrics.Counter
+}
+
+type regEntry struct {
+	place  planner.Placement
+	refs   int
+	pinned bool // service-owner infrastructure (primaries): never torn down
+	dead   bool // evicted by revalidation: hidden from reuse, discarded on drain
+}
+
+func newRegistry() *registry {
+	reg := metrics.DefaultRegistry
+	return &registry{
+		entries:  map[string]*regEntry{},
+		deploys:  reg.Counter("fleet.deploys"),
+		discards: reg.Counter("fleet.discards"),
+	}
+}
+
+// pin registers standing infrastructure that predates (and outlives)
+// every session.
+func (r *registry) pin(p planner.Placement) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := p.Key()
+	e := r.entries[key]
+	if e == nil {
+		e = &regEntry{place: p}
+		r.entries[key] = e
+		r.deploys.Inc()
+	}
+	e.pinned = true
+}
+
+// acquire adds one session reference to the placement, deploying it on
+// the 0→1 transition. Returns true when this call deployed it.
+func (r *registry) acquire(p planner.Placement) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := p.Key()
+	e := r.entries[key]
+	if e == nil {
+		e = &regEntry{place: p}
+		r.entries[key] = e
+		e.refs++
+		r.deploys.Inc()
+		return true
+	}
+	e.refs++
+	return false
+}
+
+// release drops one session reference, discarding the instance on the
+// 1→0 transition (pinned entries stay). Returns true when this call
+// discarded it.
+func (r *registry) release(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[key]
+	if e == nil {
+		return false
+	}
+	e.refs--
+	if e.refs > 0 || e.pinned {
+		return false
+	}
+	delete(r.entries, key)
+	r.discards.Inc()
+	return true
+}
+
+// evict marks a placement dead: revalidation decided the instance can
+// no longer run where it is. Dead entries stop being offered for reuse
+// immediately; their remaining references drain as the affected
+// sessions rewire, and the last release discards them.
+func (r *registry) evict(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[key]; e != nil {
+		e.dead = true
+		e.pinned = false
+	}
+}
+
+// placements enumerates the live instances sorted by key — the reuse
+// set every shard planner is synced from at wave start.
+func (r *registry) placements() []planner.Placement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]planner.Placement, 0, len(r.entries))
+	for _, e := range r.entries {
+		if !e.dead {
+			out = append(out, e.place)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// size returns the number of live instances.
+func (r *registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -166,6 +166,25 @@ func (n *Network) InvalidateRoutes() {
 	n.routesMu.Unlock()
 }
 
+// InvalidateRoutesLinkDelta bumps the route epoch after the latency or
+// bandwidth of the single link (a, b) changed, replacing the
+// outstanding route cache with a copy-on-write delta instead of
+// discarding it: the node interning and adjacency structure carry over,
+// and for non-improving changes so does every shortest-path tree that
+// avoids the edge. Falls back to a plain invalidation when no cache is
+// outstanding or the delta cannot be applied. Callers mutating link
+// property sets (not just latency/bandwidth figures) must use
+// InvalidateRoutes: cached environments alias those maps.
+func (n *Network) InvalidateRoutesLinkDelta(a, b NodeID) {
+	n.routesMu.Lock()
+	defer n.routesMu.Unlock()
+	n.epoch++
+	if n.routes == nil {
+		return
+	}
+	n.routes = n.routes.deltaLink(n, n.epoch, a, b)
+}
+
 // RouteEpoch returns the current route epoch.
 func (n *Network) RouteEpoch() uint64 {
 	n.routesMu.Lock()

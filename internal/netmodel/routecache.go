@@ -44,15 +44,29 @@ type RouteCache struct {
 	trees []*spTree // per source index; nil until first queried
 
 	hits, misses atomic.Uint64
+	// reusedTrees counts trees carried over from the previous epoch by a
+	// copy-on-write link delta (see deltaLink); 0 for full rebuilds.
+	reusedTrees int
 }
 
 // spTree is the materialized single-source shortest-path tree: per
 // target, the full Path and the aggregate link-property environment
 // (nil for loopback or unreachable targets). Immutable once built.
+// parent records each target's Dijkstra predecessor (dense index, -1
+// for the source and unreachable nodes), so a link delta can decide in
+// O(1) whether the tree routes through a changed edge.
 type spTree struct {
-	paths []Path
-	envs  []property.Set
-	reach []bool
+	paths  []Path
+	envs   []property.Set
+	reach  []bool
+	parent []int32
+}
+
+// usesEdge reports whether the tree routes through the undirected edge
+// (a, b): tree paths are exactly the parent-pointer chains, so the edge
+// is used iff it is a tree edge in either direction.
+func (t *spTree) usesEdge(a, b int32) bool {
+	return t.parent[b] == a || t.parent[a] == b
 }
 
 // newRouteCache interns the network's nodes and links into dense arrays.
@@ -126,6 +140,86 @@ func (rc *RouteCache) NodeIDs() []NodeID { return rc.ids }
 // served lookup is a hit.
 func (rc *RouteCache) Counters() (hits, misses uint64) {
 	return rc.hits.Load(), rc.misses.Load()
+}
+
+// ReusedTrees returns how many single-source trees this cache inherited
+// from the previous epoch through a copy-on-write link delta instead of
+// recomputing them; 0 for caches built from scratch.
+func (rc *RouteCache) ReusedTrees() int { return rc.reusedTrees }
+
+// deltaLink builds the next-epoch cache after the single link (a, b)
+// changed latency or bandwidth, reusing everything the change cannot
+// have touched: the node interning, the CSR adjacency structure, and —
+// when the change is non-improving — every shortest-path tree that does
+// not route through the edge.
+//
+// Correctness of tree reuse: if no latency decreased, no new shorter
+// path can appear anywhere, so every source whose tree avoids (a, b)
+// keeps identical distances; and because the relaxation discipline is
+// strict-improvement with deterministic tie-breaks, the fresh build
+// would reproduce the identical parent choices (the changed edge's
+// offers only got worse, so it loses every comparison it already lost).
+// Bandwidth and link-property values only affect paths that traverse
+// the edge, which reuse already excludes. A latency *decrease* can
+// reroute any source, so it drops all trees (the interning is still
+// reused). Returns nil when the delta cannot be applied (unknown link
+// or property-set changes, which alias shared maps); the caller falls
+// back to a full rebuild.
+func (rc *RouteCache) deltaLink(n *Network, epoch uint64, a, b NodeID) *RouteCache {
+	ai, aok := rc.idx[a]
+	bi, bok := rc.idx[b]
+	if !aok || !bok {
+		return nil
+	}
+	link, ok := n.Link(a, b)
+	if !ok {
+		return nil
+	}
+	nc := &RouteCache{
+		epoch:    epoch,
+		ids:      rc.ids,
+		idx:      rc.idx,
+		down:     rc.down,
+		loopback: rc.loopback,
+		adjStart: rc.adjStart,
+		adjNode:  rc.adjNode,
+		trees:    make([]*spTree, len(rc.ids)),
+	}
+	eab := rc.edgeIndex(ai, bi)
+	eba := rc.edgeIndex(bi, ai)
+	if eab < 0 || eba < 0 {
+		// The edge was filtered out at interning time (an endpoint was
+		// down): the routable topology is unchanged, keep everything.
+		nc.adjLat, nc.adjBW, nc.adjProps = rc.adjLat, rc.adjBW, rc.adjProps
+		rc.mu.RLock()
+		copy(nc.trees, rc.trees)
+		rc.mu.RUnlock()
+		for _, t := range nc.trees {
+			if t != nil {
+				nc.reusedTrees++
+			}
+		}
+		return nc
+	}
+	improved := link.LatencyMS < rc.adjLat[eab]
+	nc.adjLat = append([]float64(nil), rc.adjLat...)
+	nc.adjBW = append([]float64(nil), rc.adjBW...)
+	nc.adjProps = rc.adjProps
+	for _, ei := range []int32{eab, eba} {
+		nc.adjLat[ei] = link.LatencyMS
+		nc.adjBW[ei] = link.BandwidthMbps
+	}
+	if !improved {
+		rc.mu.RLock()
+		for src, t := range rc.trees {
+			if t != nil && !t.usesEdge(ai, bi) {
+				nc.trees[src] = t
+				nc.reusedTrees++
+			}
+		}
+		rc.mu.RUnlock()
+	}
+	return nc
 }
 
 // Path returns the cached minimum-latency path between two nodes; ok is
@@ -232,9 +326,10 @@ func (rc *RouteCache) buildTree(src int32) *spTree {
 	}
 
 	t := &spTree{
-		paths: make([]Path, n),
-		envs:  make([]property.Set, n),
-		reach: make([]bool, n),
+		paths:  make([]Path, n),
+		envs:   make([]property.Set, n),
+		reach:  make([]bool, n),
+		parent: prev,
 	}
 	t.reach[src] = true
 	t.paths[src] = rc.loopback[src]

@@ -63,13 +63,19 @@ func (m *Monitor) Subscribe(s Subscriber) {
 }
 
 func (m *Monitor) notify(changes []Change) {
+	m.notifyInvalidate(changes, m.net.InvalidateRoutes)
+}
+
+// notifyInvalidate runs the supplied route invalidation before
+// subscribers: an adaptation loop replanning from inside its callback
+// must see the post-change shortest paths, never an epoch-stale route.
+// Link-figure reports pass the copy-on-write delta invalidator so a
+// single link event does not discard every cached shortest-path tree.
+func (m *Monitor) notifyInvalidate(changes []Change, invalidate func()) {
 	if len(changes) == 0 {
 		return
 	}
-	// Invalidate the network's route cache before subscribers run: an
-	// adaptation loop replanning from inside its callback must see the
-	// post-change shortest paths, never an epoch-stale route.
-	m.net.InvalidateRoutes()
+	invalidate()
 	for _, s := range m.subs {
 		s(changes)
 	}
@@ -164,7 +170,9 @@ func (m *Monitor) ReportLink(a, b netmodel.NodeID, latencyMS, bandwidthMbps floa
 		})
 		link.BandwidthMbps = bandwidthMbps
 	}
+	secureChanged := false
 	if secure != nil && *secure != link.Secure {
+		secureChanged = true
 		changes = append(changes, Change{
 			Kind: "link", Subject: subject, Field: "secure",
 			Old: fmt.Sprint(link.Secure), New: fmt.Sprint(*secure),
@@ -172,7 +180,13 @@ func (m *Monitor) ReportLink(a, b netmodel.NodeID, latencyMS, bandwidthMbps floa
 		link.Secure = *secure
 		link.Props["Confidentiality"] = property.Bool(*secure)
 	}
-	m.notify(changes)
+	if secureChanged {
+		// Property mutation aliases maps the route cache may share;
+		// only a full invalidation is safe.
+		m.notify(changes)
+	} else {
+		m.notifyInvalidate(changes, func() { m.net.InvalidateRoutesLinkDelta(a, b) })
+	}
 	return nil
 }
 

@@ -57,11 +57,16 @@ func newPlanMemo() *planMemo {
 }
 
 // beginPlan resets per-call state: search statistics, the evaluation
-// memo, and the epoch-current route handle.
+// memo, and the route handle — the epoch-current one, or the pinned one
+// when an in-flight replan wave froze the planner's topology view.
 func (pl *Planner) beginPlan() {
 	pl.stats = Stats{}
 	pl.memo = newPlanMemo()
-	pl.routes = pl.Net.Routes()
+	if pl.pinnedRoutes != nil {
+		pl.routes = pl.pinnedRoutes
+	} else {
+		pl.routes = pl.Net.Routes()
+	}
 	pl.hits0, pl.misses0 = pl.routes.Counters()
 }
 

@@ -258,10 +258,20 @@ type Planner struct {
 	// results are bit-identical to a sequential run. Zero means
 	// GOMAXPROCS; 1 forces the sequential path.
 	Workers int
+	// PreferDP routes Replan's planning pass through PlanDP instead of
+	// the exhaustive search. On topologies beyond a few dozen nodes the
+	// exhaustive mapper is intractable while the DP mapper stays
+	// polynomial; fleet-scale callers set this. Plan itself is
+	// unaffected (PlanDP falls back to it where the DP relaxation does
+	// not apply).
+	PreferDP bool
 
 	stats  Stats
 	memo   *planMemo
 	routes *netmodel.RouteCache
+	// pinnedRoutes, when non-nil, overrides the epoch-current route
+	// handle for every plan call (see PinRoutes).
+	pinnedRoutes *netmodel.RouteCache
 	// hits0/misses0 snapshot the route-cache counters at beginPlan so
 	// endPlan can attribute the delta to this plan call.
 	hits0, misses0 uint64
@@ -279,6 +289,16 @@ func New(svc *spec.Service, net *netmodel.Network) *Planner {
 
 // Stats returns the statistics accumulated by the most recent Plan call.
 func (pl *Planner) Stats() Stats { return pl.stats }
+
+// PinRoutes freezes the planner onto one route-cache epoch: every
+// subsequent plan call answers path queries from rc instead of the
+// network's current cache, so a topology mutation arriving while a
+// replan wave is in flight cannot split the wave across two views of
+// the network. Pass nil to unpin. The caller owns consistency between
+// the pinned routes and the live node table (revalidation still reads
+// live node liveness, which is exactly what a wave wants: evictions
+// current, routing frozen).
+func (pl *Planner) PinRoutes(rc *netmodel.RouteCache) { pl.pinnedRoutes = rc }
 
 // KVs renders the stats as metrics-registry rows.
 func (s Stats) KVs() []metrics.KV {

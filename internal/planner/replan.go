@@ -96,7 +96,11 @@ func (pl *Planner) stillValid(p Placement) bool {
 // placements are assumed to be registered via AddExisting.
 func (pl *Planner) Replan(old *Deployment, req Request) (*Diff, error) {
 	diff := &Diff{Evicted: pl.RevalidateExisting()}
-	dep, err := pl.Plan(req)
+	plan := pl.Plan
+	if pl.PreferDP {
+		plan = pl.PlanDP
+	}
+	dep, err := plan(req)
 	if err != nil {
 		return nil, fmt.Errorf("planner: replan: %w", err)
 	}

@@ -1,0 +1,167 @@
+package planner
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file makes replan results shareable across planner instances.
+// Per-call memoization (planMemo) already dedupes work inside one plan;
+// a replan *wave* — thousands of sessions reacting to one topology
+// event — needs the next level up: two sessions whose requests, reuse
+// sets, and route epoch are identical must plan once, not twice. The
+// identity layer is the fingerprint trio below (request, reuse set,
+// epoch), all derived from canonical content — component names, node
+// IDs, property fingerprints — so they are stable across planner
+// instances, processes, and runs; nothing keys off pointer identity or
+// per-instance state.
+
+// Fingerprint returns a canonical content identity for the request:
+// two requests with equal fingerprints plan identically against the
+// same network and reuse set, regardless of which planner instance
+// runs them.
+func (r Request) Fingerprint() string {
+	return r.Interface + "|" + string(r.ClientNode) + "|" + r.User + "|" +
+		r.RequireProps.Fingerprint() + "|" +
+		strconv.FormatFloat(r.RateRPS, 'g', -1, 64) + "|" + r.Objective.String()
+}
+
+// ExistingFingerprint returns a canonical content identity for the
+// planner's reuse set: sorted placement keys with their offered
+// properties and upstream charges folded in. Planners with equal
+// service specs, networks, and ExistingFingerprints produce identical
+// plans for equal requests.
+func (pl *Planner) ExistingFingerprint() string {
+	keys := make([]string, 0, len(pl.Existing))
+	for _, p := range pl.Existing {
+		keys = append(keys, p.Key()+"^"+p.Offers.Fingerprint()+"^"+
+			strconv.FormatFloat(p.UpstreamMS, 'g', -1, 64))
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Clone returns a deep-enough copy for cross-session sharing: the
+// placement and edge slices are private, while property sets and path
+// node lists stay shared (they are read-only by contract everywhere in
+// the planner).
+func (d *Deployment) Clone() *Deployment {
+	if d == nil {
+		return nil
+	}
+	nd := *d
+	nd.Placements = append([]Placement(nil), d.Placements...)
+	nd.Edges = append([]Edge(nil), d.Edges...)
+	return &nd
+}
+
+// Clone copies the diff with private slices (see Deployment.Clone for
+// the sharing contract).
+func (d *Diff) Clone() *Diff {
+	if d == nil {
+		return nil
+	}
+	return &Diff{
+		New:     d.New.Clone(),
+		Install: append([]Placement(nil), d.Install...),
+		Remove:  append([]Placement(nil), d.Remove...),
+		Evicted: append([]Placement(nil), d.Evicted...),
+	}
+}
+
+// WaveMemo shares replan results across the sessions of one replan
+// wave. Keys must capture the full planning identity — request
+// fingerprint, reuse-set fingerprint, route epoch (WaveKey assembles
+// exactly that) — and each key is computed exactly once even under
+// concurrent Do calls from many shard workers: the first caller runs
+// compute, later callers block until it lands and share the result.
+// Results are cloned on the way out, so wave members can commit their
+// copies independently.
+type WaveMemo struct {
+	mu      sync.Mutex
+	entries map[string]*waveEntry
+
+	hits, misses atomic.Uint64
+}
+
+type waveEntry struct {
+	done  chan struct{}
+	diff  *Diff
+	stats Stats
+	err   error
+}
+
+// NewWaveMemo returns an empty wave memo.
+func NewWaveMemo() *WaveMemo {
+	return &WaveMemo{entries: map[string]*waveEntry{}}
+}
+
+// WaveKey assembles the memo key for one session's replan: the request
+// identity, the reuse-set identity, the pinned route epoch, and the
+// session's current deployment shape (a replan diff is relative to it).
+func WaveKey(req Request, existingFP string, epoch uint64, old *Deployment) string {
+	key := req.Fingerprint() + "#" + existingFP + "#" + strconv.FormatUint(epoch, 10) + "#"
+	if old != nil {
+		keys := make([]string, len(old.Placements))
+		for i, p := range old.Placements {
+			keys[i] = p.Key()
+		}
+		key += "[" + joinKeys(keys) + "]"
+	}
+	return key
+}
+
+func joinKeys(keys []string) string {
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out
+}
+
+// Do returns the memoized result for key, running compute exactly once
+// across all concurrent callers. The returned diff is a private clone;
+// stats are the single compute's search statistics (callers decide how
+// to attribute them — the fleet counts them once per computation, not
+// once per session).
+func (m *WaveMemo) Do(key string, compute func() (*Diff, Stats, error)) (*Diff, Stats, bool, error) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &waveEntry{done: make(chan struct{})}
+		m.entries[key] = e
+		m.mu.Unlock()
+		e.diff, e.stats, e.err = compute()
+		close(e.done)
+		m.misses.Add(1)
+		return e.diff.Clone(), e.stats, false, e.err
+	}
+	m.mu.Unlock()
+	<-e.done
+	m.hits.Add(1)
+	return e.diff.Clone(), e.stats, true, e.err
+}
+
+// Counters returns the cumulative hit and miss counts (a miss ran
+// compute; a hit shared it).
+func (m *WaveMemo) Counters() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Len returns the number of distinct keys computed.
+func (m *WaveMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
