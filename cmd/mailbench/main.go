@@ -19,6 +19,7 @@
 //	mailbench -fleet            # session-sharded fleet control plane (A10)
 //	mailbench -fleet -fleet-sessions 400 -fleet-nodes 32   # reduced scale (CI)
 //	mailbench -fleet -timing    # add wall-clock wave latency (non-deterministic)
+//	mailbench -http :8080 ...   # expose /metrics (Prometheus) while the bench runs
 //
 // Scenario runs fan out over a bounded worker pool; output is
 // byte-identical for every -workers value (each scenario is its own
@@ -28,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"partsvc/internal/api"
 	"partsvc/internal/bench"
 	"partsvc/internal/metrics"
 	"partsvc/internal/trace"
@@ -63,7 +66,22 @@ func main() {
 	fleetEvents := flag.Int("fleet-events", 0, "override -fleet scripted link event count (default 4)")
 	fleetShards := flag.Int("fleet-shards", 0, "override -fleet shard count (default 8)")
 	timing := flag.Bool("timing", false, "add wall-clock wave latency to -fleet output (non-deterministic)")
+	httpAddr := flag.String("http", "", "serve the operational API (/metrics, /v1/events) for this address while the bench runs")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		srv := api.New(api.Config{Addr: *httpAddr}, api.Control{})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "mailbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("operational API on http://%s while the bench runs\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	if *clients > 0 {

@@ -1,0 +1,42 @@
+// Command promlint validates Prometheus text-format exposition (the
+// 0.0.4 format /metrics serves): comment grammar, sample syntax,
+// duplicate series, and histogram invariants (+Inf bucket present,
+// cumulative monotone, _count agreement). CI pipes a live scrape
+// through it:
+//
+//	curl -fsS localhost:8080/metrics | promlint
+//	promlint -f scrape.txt
+//
+// Exit status 0 means lint-clean; 1 prints the first violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"partsvc/internal/metrics"
+)
+
+func main() {
+	path := flag.String("f", "", "exposition file to lint (default: stdin)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, *path
+	}
+	if err := metrics.LintPrometheusText(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: OK")
+}

@@ -1,17 +1,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"sync"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"partsvc/internal/adapt"
+	"partsvc/internal/api"
+	"partsvc/internal/fleet"
 	"partsvc/internal/mail"
+	"partsvc/internal/metrics"
 	"partsvc/internal/netmodel"
 	"partsvc/internal/netmon"
 	"partsvc/internal/planner"
 	"partsvc/internal/seccrypto"
+	"partsvc/internal/sim"
 	"partsvc/internal/smock"
 	"partsvc/internal/spec"
 	"partsvc/internal/topology"
@@ -83,14 +91,34 @@ func newAdaptWorld() (*adaptWorld, error) {
 // runAdapt deploys the case study in-process, starts the adaptation
 // controller, injects one fault, and streams every controller event
 // while client traffic keeps flowing through the rebinding endpoint.
+// The live view is a thin SSE client of the operational API: the demo
+// starts its own api.Server and reads back /v1/events over HTTP — the
+// same stream curl or a dashboard would see. With -attach it skips the
+// demo and tails a running server's stream instead; with -fleet it
+// runs the sharded fleet scenario and streams the manager's replan
+// wave lifecycle.
 func runAdapt(args []string) error {
 	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
 	fault := fs.String("fault", "node-crash",
 		"fault to inject: node-crash (kill sd-2), link-degrade, link-down (SD~Seattle)")
 	sends := fs.Int("sends", 8, "client sends to push through the adaptation")
 	timeout := fs.Duration("timeout", 15*time.Second, "abort if adaptation has not completed")
+	attach := fs.String("attach", "", "tail a running operational API's /v1/events instead of running the demo (base URL)")
+	token := fs.String("token", "", "bearer token for -attach")
+	filter := fs.String("filter", "", "event filter for -attach (query form: session=carol&kind=replan,adapted)")
+	fleetView := fs.Bool("fleet", false, "run the sharded fleet scenario and stream replan waves")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *attach != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("streaming %s/v1/events (ctrl-c to stop)\n", strings.TrimSuffix(*attach, "/"))
+		return streamEvents(ctx, *attach, *token, *filter, printEvent)
+	}
+	if *fleetView {
+		return runAdaptFleet()
 	}
 
 	w, err := newAdaptWorld()
@@ -120,8 +148,6 @@ func runAdapt(args []string) error {
 	defer reb.Close()
 	session.Bind(reb)
 
-	var out sync.Mutex
-	adapted := make(chan struct{}, 1)
 	ctrl := adapt.New(adapt.Config{
 		DebounceMS: 20, ProbeIntervalMS: 25, ProbeTimeoutMS: 500,
 		SuspicionThreshold: 2, DrainMS: 40,
@@ -130,17 +156,45 @@ func runAdapt(args []string) error {
 		Transport: w.tr, Spec: spec.MailService(),
 	}, adapt.NewRealScheduler())
 	ctrl.SetProber(adapt.NewTransportProber(w.tr), w.engine.ControlAddrs)
-	ctrl.OnEvent(func(e adapt.Event) {
-		out.Lock()
-		fmt.Println(e)
-		out.Unlock()
-		if e.Kind == "adapted" {
-			select {
-			case adapted <- struct{}{}:
-			default:
+
+	// The live view rides the operational API: events go controller ->
+	// bus -> SSE -> this process's own HTTP client. Anything else (curl,
+	// another psfctl adapt -attach) can watch the same stream.
+	srv := api.New(api.Config{Addr: "127.0.0.1:0"}, api.Control{
+		Spec: spec.MailService(), Server: w.gs, Engine: w.engine,
+		Lookup: w.lookup, Controller: ctrl, Mon: w.mon,
+		KillNode: func(id netmodel.NodeID) error {
+			wr, ok := w.wrappers[id]
+			if !ok {
+				return fmt.Errorf("no wrapper for %s", id)
 			}
-		}
+			wr.Close()
+			return nil
+		},
 	})
+	srv.AttachController(ctrl, nil)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("events also live at http://%s/v1/events\n", srv.Addr())
+
+	adapted := make(chan struct{}, 1)
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		streamEvents(sctx, "http://"+srv.Addr(), "", "", func(e api.Event) { //nolint:errcheck // demo stream
+			printEvent(e)
+			if e.Kind == "adapted" {
+				select {
+				case adapted <- struct{}{}:
+				default:
+				}
+			}
+		})
+	}()
+
 	ctrl.Track(session)
 	ctrl.Start()
 	defer ctrl.Stop()
@@ -187,10 +241,91 @@ func runAdapt(args []string) error {
 		time.Sleep(25 * time.Millisecond)
 	}
 
-	out.Lock()
-	defer out.Unlock()
+	// Graceful stop: the server says bye on the stream, the client
+	// returns, then the summary prints without interleaving.
+	shctx, shcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shcancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		return err
+	}
+	<-streamDone
+
 	fmt.Printf("adapted: %s\n", session.Deployment())
 	fmt.Printf("head %s -> %s; %d sends, zero client-visible errors; primary inbox %d\n",
 		headAddr, session.HeadAddr(), *sends+1, w.primary.Store().InboxCount("Alice"))
+	return nil
+}
+
+// runAdaptFleet runs the sharded fleet control plane through the
+// relay kill/recovery/flap cycle on the virtual clock, with the
+// manager's wave lifecycle (wave-open/wave-close, per-session adapt
+// outcomes, governor deferrals, flap suppression) wired into the bus
+// and streamed back over SSE — replan waves as a live view, not just
+// counters.
+func runAdaptFleet() error {
+	env := sim.NewEnv()
+	net := topology.CaseStudy()
+	mon := netmon.New(net)
+	mgr := fleet.New(fleet.Config{
+		Shards: 4, Workers: 2, DebounceMS: 20,
+		CutoverRatePerSec: 1, CutoverBurst: 1, HysteresisMS: 60000,
+	}, spec.MailService(), net, mon, adapt.NewSimScheduler(env))
+	srv := api.New(api.Config{
+		Addr: "127.0.0.1:0",
+		// The sim publishes faster than real time; a deep subscriber
+		// buffer keeps the live view lossless.
+		SubscriberBuffer: 8192,
+	}, api.Control{Fleet: mgr, Mon: mon})
+	srv.AttachFleet(mgr)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("fleet wave stream live at http://%s/v1/events\n", srv.Addr())
+
+	streamDone := make(chan struct{})
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	go func() {
+		defer close(streamDone)
+		streamEvents(sctx, "http://"+srv.Addr(), "", "", printEvent) //nolint:errcheck // demo stream
+	}()
+
+	if _, err := mgr.AddPrimary(spec.CompMailServer, topology.NYServer); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		req := planner.Request{Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50}
+		if i%2 == 1 {
+			req.ClientNode, req.User = topology.SeaClient, "Carol"
+		}
+		mgr.AddSession(fmt.Sprintf("fleet-s%d", i), req)
+	}
+	mgr.Bootstrap()
+	mgr.Start()
+	// Relay down/up/down/up: recovery rewires under the token bucket,
+	// the second recovery inside the hysteresis window is suppressed.
+	env.At(100, func() { _ = mon.ReportNodeDown(topology.SDGateway) })
+	env.At(10000, func() { _ = mon.ReportNodeUp(topology.SDGateway) })
+	env.At(20000, func() { _ = mon.ReportNodeDown(topology.SDGateway) })
+	env.At(30000, func() { _ = mon.ReportNodeUp(topology.SDGateway) })
+	env.RunUntil(60000)
+	mgr.Stop()
+	env.Stop()
+
+	// Shutdown flushes the stream (buffered events drain before the
+	// bye), so every wave prints before the summary.
+	shctx, shcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shcancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		return err
+	}
+	<-streamDone
+
+	reg := metrics.DefaultRegistry
+	fmt.Printf("fleet run complete: %d sessions, %d waves, %d cutovers rate-limited, %d flaps suppressed\n",
+		len(mgr.Sessions()),
+		reg.Counter("fleet.waves").Load(),
+		reg.Counter("fleet.cutovers_rate_limited").Load(),
+		reg.Counter("fleet.flaps_suppressed").Load())
 	return nil
 }

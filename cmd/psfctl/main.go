@@ -13,7 +13,10 @@
 //	psfctl rpc [-callers 64] [-d 2s]  # loopback data-plane throughput probe
 //	psfctl stats [-http :8080]        # unified metrics registry across subsystems
 //	psfctl trace [-sim]               # end-to-end trace of one mail send
-//	psfctl adapt [-fault node-crash]  # live adaptation demo, streaming controller events
+//	psfctl adapt [-fault node-crash]  # live adaptation demo over the SSE event stream
+//	psfctl adapt -attach URL          # tail a running server's /v1/events
+//	psfctl adapt -fleet               # fleet scenario, streaming replan waves
+//	psfctl serve [-addr :8080]        # operational API over the deployed case study
 package main
 
 import (
@@ -55,6 +58,8 @@ func main() {
 		err = runTrace(os.Args[2:])
 	case "adapt":
 		err = runAdapt(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc|stats|trace|adapt> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: psfctl <spec|validate|chains|trees|plan|rpc|stats|trace|adapt|serve> [flags]")
 }
 
 // loadSpec reads a spec from -f, defaulting to the built-in mail spec.

@@ -4,10 +4,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"partsvc/internal/adapt"
+	"partsvc/internal/api"
 	"partsvc/internal/bench"
 	"partsvc/internal/coherence"
 	"partsvc/internal/fleet"
@@ -221,13 +225,22 @@ func runStats(args []string) error {
 	fmt.Print(reg.Render())
 
 	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg)
-		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprint(w, trace.Tree(trace.Default.Spans()))
-		})
-		fmt.Printf("serving /metrics and /trace on %s\n", *httpAddr)
-		return http.ListenAndServe(*httpAddr, mux)
+		// The observability mux comes from internal/api: Prometheus text
+		// at /metrics, the old JSON form at /v1/metrics.json, the span
+		// ring at /v1/trace — and the process drains cleanly on SIGINT/
+		// SIGTERM instead of dying mid-scrape.
+		srv := api.New(api.Config{Addr: *httpAddr, Registry: reg}, api.Control{})
+		if err := srv.Start(); err != nil {
+			return err
+		}
+		fmt.Printf("serving /metrics (Prometheus), /v1/metrics.json, /v1/trace, /v1/events on %s\n", srv.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+		fmt.Println("\nshutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
 	}
 	return nil
 }

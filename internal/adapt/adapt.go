@@ -245,6 +245,32 @@ func (c *Controller) Track(s *Session) {
 	c.sessions = append(c.sessions, s)
 }
 
+// Untrack stops keeping the named session valid (its deployment is
+// left as-is). No-op for unknown names.
+func (c *Controller) Untrack(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.sessions {
+		if s.Name == name {
+			c.sessions = append(c.sessions[:i], c.sessions[i+1:]...)
+			return
+		}
+	}
+}
+
+// Kick runs an immediate adaptation pass over every tracked session,
+// bypassing the debounce window — the management API's "adapt now".
+// Synchronous: it returns when the pass (including any cutovers) is
+// done. No-op after Stop.
+func (c *Controller) Kick() {
+	c.mu.Lock()
+	stopped := c.stopped
+	c.mu.Unlock()
+	if !stopped {
+		c.adaptAll()
+	}
+}
+
 // Start subscribes to the monitor and, when configured, starts (or
 // joins) the failure-detection loop.
 func (c *Controller) Start() {

@@ -224,6 +224,7 @@ type Manager struct {
 	pendingIdx     map[int]struct{}
 	waveSeq        uint64
 	onWave         func(WaveReport)
+	onEvent        func(session string, e Event)
 }
 
 // WaveReport summarizes one completed replan wave (emitted after its
@@ -291,6 +292,28 @@ func (m *Manager) Shards() int { return len(m.shards) }
 // OnWave installs a wave-report sink (benchmarks, logs). Must be set
 // before Start.
 func (m *Manager) OnWave(fn func(WaveReport)) { m.onWave = fn }
+
+// OnEvent installs a live event sink: every per-session control event
+// (session = the session's name) plus the manager-level wave lifecycle
+// ("wave-open"/"wave-close", session = ""). Must be set before Start;
+// called without manager locks held.
+func (m *Manager) OnEvent(fn func(session string, e Event)) { m.onEvent = fn }
+
+// emitSession records e in the session's private stream and forwards
+// it to the manager's event sink.
+func (m *Manager) emitSession(s *Session, e Event) {
+	s.emit(e)
+	if m.onEvent != nil {
+		m.onEvent(s.Name, e)
+	}
+}
+
+// emitWave publishes a manager-level wave lifecycle event.
+func (m *Manager) emitWave(e Event) {
+	if m.onEvent != nil {
+		m.onEvent("", e)
+	}
+}
 
 // AttachProbePool wires the fleet to a shared failure detector:
 // committed deployments acquire their nodes' heartbeat streams
@@ -592,6 +615,8 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 	rc := m.net.Routes()
 	epoch := rc.Epoch()
 	snapshot := m.reg.placements()
+	m.emitWave(Event{AtMS: startMS, Wave: wave, Kind: "wave-open",
+		Detail: fmt.Sprintf("sessions=%d epoch=%d", len(affected), epoch)})
 
 	// One reuse-set fingerprint for the whole wave: every shard planner
 	// is synced from the same snapshot, so it is computed once.
@@ -689,11 +714,11 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 		s.cancelPending()
 		if r.err != nil {
 			report.Failed++
-			s.emit(Event{AtMS: now, Wave: wave, Kind: "failed", Detail: r.err.Error()})
+			m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: "failed", Detail: r.err.Error()})
 			continue
 		}
 		if !bootstrap {
-			s.emit(Event{AtMS: now, Wave: wave, Kind: "wave"})
+			m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: "wave"})
 		}
 		diff := r.diff
 		// Evictions are registry-level facts, applied once per wave no
@@ -708,7 +733,7 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 		old := s.snapshotDep()
 		if diff.Unchanged() && old != nil {
 			report.Unchanged++
-			s.emit(Event{AtMS: now, Wave: wave, Kind: "unchanged"})
+			m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: "unchanged"})
 			continue
 		}
 		forced := bootstrap || m.depBroken(old, rc)
@@ -719,7 +744,7 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 			if m.gov.suppressed(now, lastCut, forced) {
 				report.Suppressed++
 				m.flapsSuppressed.Inc()
-				s.emit(Event{AtMS: now, Wave: wave, Kind: "suppressed"})
+				m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: "suppressed"})
 				continue
 			}
 		}
@@ -733,7 +758,7 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 		if commitAt > now {
 			report.Deferred++
 			m.cutoversRateLimited.Inc()
-			s.emit(Event{AtMS: now, Wave: wave, Kind: "deferred",
+			m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: "deferred",
 				Detail: fmt.Sprintf("commit at %.1fms", commitAt)})
 			m.scheduleCommit(s, wave, diff, commitAt-now)
 			continue
@@ -751,6 +776,11 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 	m.memoHits.Add(int64(report.MemoHits))
 	m.routeLookups.Add(int64(report.RouteLookups))
 	m.cutovers.Add(int64(report.Cutovers))
+	m.emitWave(Event{AtMS: m.sched.NowMS(), Wave: wave, Kind: "wave-close",
+		Detail: fmt.Sprintf(
+			"sessions=%d computes=%d memo_hits=%d cutovers=%d deferred=%d suppressed=%d unchanged=%d failed=%d span=%.1fms",
+			report.Sessions, report.PlanComputes, report.MemoHits, report.Cutovers,
+			report.Deferred, report.Suppressed, report.Unchanged, report.Failed, report.SpanMS)})
 	if m.onWave != nil {
 		m.onWave(report)
 	}
@@ -839,7 +869,7 @@ func (m *Manager) commit(s *Session, wave uint64, diff *planner.Diff, bootstrap 
 	if bootstrap {
 		kind = "planned"
 	}
-	s.emit(Event{AtMS: now, Wave: wave, Kind: kind, Detail: depSummary(diff.New)})
+	m.emitSession(s, Event{AtMS: now, Wave: wave, Kind: kind, Detail: depSummary(diff.New)})
 }
 
 // reindex swaps the session's entries in the node→sessions index from

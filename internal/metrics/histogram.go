@@ -137,6 +137,31 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.Max()
 }
 
+// BucketCount is one histogram bucket in exposition form: the
+// inclusive upper bound of the bucket and the number of samples that
+// landed in it (non-cumulative).
+type BucketCount struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Count      uint64
+}
+
+// Buckets returns every bucket's upper bound and sample count, low to
+// high; the final bound is +Inf. Counts are non-cumulative — renderers
+// producing Prometheus-style cumulative buckets sum as they go.
+// Concurrent Observes may be torn across buckets (the per-bucket adds
+// are independent atomics), never corrupted.
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, histBuckets)
+	for i := 0; i < histBuckets; i++ {
+		ub := math.Inf(1)
+		if i < histBuckets-1 {
+			ub = math.Exp2(float64(i)/histSubOctave + histMinExp)
+		}
+		out[i] = BucketCount{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return out
+}
+
 // Merge folds o's samples into h (o unchanged). Merging is
 // order-independent: quantiles of the merge equal quantiles of the
 // combined sample multiset to within bucket resolution.

@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText validates a Prometheus text-format exposition:
+// line grammar (metric names, label syntax, float values), TYPE
+// declarations preceding their series, no duplicate TYPE per family,
+// and histogram invariants — every histogram family must expose a
+// +Inf bucket whose cumulative count equals its _count series, with
+// bucket counts non-decreasing in le order. It is the CI gate behind
+// `promlint` and the format half of the exposition tests.
+func LintPrometheusText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	l := &promLinter{
+		types:   map[string]string{},
+		series:  map[string]bool{},
+		buckets: map[string][]promBucketSample{},
+		counts:  map[string]float64{},
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := l.line(strings.TrimRight(sc.Text(), "\r")); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lineNo == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return l.finish()
+}
+
+type promBucketSample struct {
+	le  float64
+	val float64
+}
+
+type promLinter struct {
+	types   map[string]string             // family -> declared type
+	series  map[string]bool               // exact series line key, for duplicates
+	buckets map[string][]promBucketSample // histogram series key -> bucket samples
+	counts  map[string]float64            // histogram series key -> _count value
+}
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (l *promLinter) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.Fields(s)
+		if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+			if len(fields) < 3 || !promMetricRe.MatchString(fields[2]) {
+				return fmt.Errorf("malformed %s comment: %q", fields[1], s)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("malformed TYPE comment: %q", s)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("unknown metric type %q", fields[3])
+				}
+				if _, dup := l.types[fields[2]]; dup {
+					return fmt.Errorf("duplicate TYPE for family %s", fields[2])
+				}
+				l.types[fields[2]] = fields[3]
+			}
+		}
+		return nil // other comments are free-form
+	}
+
+	name, labels, value, err := parsePromSample(s)
+	if err != nil {
+		return err
+	}
+	if l.series[name+labels] {
+		return fmt.Errorf("duplicate series %s%s", name, labels)
+	}
+	l.series[name+labels] = true
+
+	fam, sfx := promFamilyOf(name, l.types)
+	if typ, ok := l.types[fam]; ok {
+		if typ == "histogram" {
+			key, le, hasLE, err := splitLE(fam, sfx, labels)
+			if err != nil {
+				return err
+			}
+			switch {
+			case sfx == "_bucket":
+				if !hasLE {
+					return fmt.Errorf("histogram bucket without le label: %s%s", name, labels)
+				}
+				l.buckets[key] = append(l.buckets[key], promBucketSample{le: le, val: value})
+			case sfx == "_count":
+				l.counts[key] = value
+			}
+		} else if sfx == "_bucket" {
+			return fmt.Errorf("series %s uses _bucket but family %s is %s", name, fam, typ)
+		}
+	}
+	return nil
+}
+
+// parsePromSample validates one sample line and splits it into the
+// metric name, the raw (normalized) label block, and the value.
+func parsePromSample(s string) (name, labels string, value float64, err error) {
+	rest := s
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", "", 0, fmt.Errorf("unterminated label block: %q", s)
+		}
+		labels = rest[brace : end+1]
+		rest = strings.TrimSpace(rest[end+1:])
+		if err := lintLabelBlock(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample without value: %q", s)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !promMetricRe.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want VALUE [TIMESTAMP] after %s, got %q", name, rest)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("invalid value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// lintLabelBlock validates `{k="v",k2="v2"}` syntax.
+func lintLabelBlock(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(inner) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if !promLabelRe.MatchString(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value not quoted: %q", pair)
+		}
+		if _, err := strconv.Unquote(v); err != nil {
+			return fmt.Errorf("bad label value escaping in %q: %v", pair, err)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// promFamilyOf strips a histogram/summary suffix when the base family
+// has a TYPE declaration.
+func promFamilyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, sfx); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base, sfx
+			}
+		}
+	}
+	return name, ""
+}
+
+// splitLE extracts the le label (for buckets) and returns the series
+// key with le removed, so bucket/_sum/_count series of one label set
+// group together.
+func splitLE(fam, sfx, labels string) (key string, le float64, hasLE bool, err error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if pair == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k == "le" && sfx == "_bucket" {
+			unq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", 0, false, fmt.Errorf("bad le value %q", v)
+			}
+			le, err = parsePromFloat(unq)
+			if err != nil {
+				return "", 0, false, fmt.Errorf("bad le value %q", unq)
+			}
+			hasLE = true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	sort.Strings(kept)
+	return fam + "{" + strings.Join(kept, ",") + "}", le, hasLE, nil
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// finish runs the cross-line histogram checks.
+func (l *promLinter) finish() error {
+	for key, samples := range l.buckets {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].le < samples[j].le })
+		last := samples[len(samples)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		for i := 1; i < len(samples); i++ {
+			if samples[i].val < samples[i-1].val {
+				return fmt.Errorf("histogram %s buckets not cumulative at le=%s",
+					key, promFloat(samples[i].le))
+			}
+		}
+		if count, ok := l.counts[key]; ok && count != last.val {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, last.val, count)
+		}
+	}
+	return nil
+}

@@ -36,6 +36,14 @@ func (g *Gauge) Add(d float64) { g.v.add(d) }
 // Load returns the current value.
 func (g *Gauge) Load() float64 { return g.v.load() }
 
+// Label is one key=value dimension on a metric series. Labeled series
+// under one name form a family — the shape Prometheus exposition
+// renders as `name{key="value"}`.
+type Label struct {
+	Key   string
+	Value string
+}
+
 // Registry is the process-wide metrics namespace: named counters,
 // gauges, and histograms owned by the registry, plus per-subsystem
 // snapshot sections. One Render call (or one HTTP scrape) shows every
@@ -43,9 +51,10 @@ func (g *Gauge) Load() float64 { return g.v.load() }
 type Registry struct {
 	mu         sync.Mutex
 	sections   []namedSection
-	counters   map[string]*Counter
+	counters   map[string]*counterEntry
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	histFuncs  map[string]*histFuncEntry
 }
 
 type namedSection struct {
@@ -53,13 +62,63 @@ type namedSection struct {
 	fn   func() []KV
 }
 
+// counterEntry is one counter series: its family name, label set, and
+// the counter itself.
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+// histFuncEntry is one provider-backed histogram series: subsystems
+// that keep their own sharded recorders register a snapshot func
+// instead of observing into a registry-owned Histogram.
+type histFuncEntry struct {
+	name   string
+	labels []Label
+	fn     func() *Histogram
+}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
+		counters:   map[string]*counterEntry{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		histFuncs:  map[string]*histFuncEntry{},
 	}
+}
+
+// seriesKey builds the map key for a name + label set. Labels are
+// assumed already sorted by key (callers sort once at registration).
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortLabels returns labels sorted by key (copied; the caller's slice
+// is never mutated).
+func sortLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // DefaultRegistry is the process-wide registry the transports, planner,
@@ -97,14 +156,36 @@ func (r *Registry) UnregisterSection(name string) {
 // are "section.metric" ("wire.pool_hits"); the part before the first
 // dot becomes the rendered section.
 func (r *Registry) Counter(name string) *Counter {
+	return r.CounterL(name)
+}
+
+// CounterL returns the counter series for name plus a label set,
+// creating it on first use. Series with the same name and different
+// labels render as one Prometheus family ("api.requests" with
+// route/code labels).
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	e := r.counters[key]
+	if e == nil {
+		e = &counterEntry{name: name, labels: labels, c: &Counter{}}
+		r.counters[key] = e
 	}
-	return c
+	return e.c
+}
+
+// RegisterHistogramFunc attaches a provider-backed histogram series:
+// fn is called at snapshot/scrape time and must return a merged
+// point-in-time Histogram (e.g. ShardedHistogram.Snapshot). Re-
+// registering a key replaces the provider.
+func (r *Registry) RegisterHistogramFunc(name string, fn func() *Histogram, labels ...Label) {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.histFuncs[key] = &histFuncEntry{name: name, labels: labels, fn: fn}
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -148,8 +229,9 @@ func (r *Registry) Snapshot() []Section {
 	sections := make([]namedSection, len(r.sections))
 	copy(sections, r.sections)
 	owned := map[string][]KV{}
-	add := func(name string, kvs ...KV) {
+	add := func(name string, labels []Label, kvs ...KV) {
 		sec, rest := splitMetricName(name)
+		rest = seriesKey(rest, labels)
 		for _, kv := range kvs {
 			if kv.Name == "" {
 				kv.Name = rest
@@ -159,14 +241,8 @@ func (r *Registry) Snapshot() []Section {
 			owned[sec] = append(owned[sec], kv)
 		}
 	}
-	for name, c := range r.counters {
-		add(name, KVf("", "%d", c.Load()))
-	}
-	for name, g := range r.gauges {
-		add(name, KVf("", "%.2f", g.Load()))
-	}
-	for name, h := range r.histograms {
-		add(name,
+	addHist := func(name string, labels []Label, h *Histogram) {
+		add(name, labels,
 			KVf("count", "%d", h.Count()),
 			KVf("mean", "%.3f", h.Mean()),
 			KVf("p50", "%.3f", h.Quantile(0.50)),
@@ -175,7 +251,26 @@ func (r *Registry) Snapshot() []Section {
 			KVf("max", "%.3f", h.Max()),
 		)
 	}
+	for _, e := range r.counters {
+		add(e.name, e.labels, KVf("", "%d", e.c.Load()))
+	}
+	for name, g := range r.gauges {
+		add(name, nil, KVf("", "%.2f", g.Load()))
+	}
+	for name, h := range r.histograms {
+		addHist(name, nil, h)
+	}
+	histFuncs := make([]*histFuncEntry, 0, len(r.histFuncs))
+	for _, e := range r.histFuncs {
+		histFuncs = append(histFuncs, e)
+	}
 	r.mu.Unlock()
+	// Providers run outside the registry lock: a snapshot func may take
+	// its subsystem's own locks, and must never deadlock against a
+	// concurrent metric registration.
+	for _, e := range histFuncs {
+		addHist(e.name, e.labels, e.fn())
+	}
 
 	out := make([]Section, 0, len(sections)+len(owned))
 	for _, s := range sections {

@@ -56,6 +56,15 @@ func (g *GenericServer) Access(req planner.Request) (string, *planner.Deployment
 	return addr, dep, nil
 }
 
+// PlanOnly runs the planner for one request without deploying anything
+// — a dry run for the operational API's /v1/plan endpoint. The result
+// is not registered as existing, so a later Access is unaffected.
+func (g *GenericServer) PlanOnly(req planner.Request) (*planner.Deployment, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pl.Plan(req)
+}
+
 // Requires resolves a component's required interface name — the
 // engine's wiring callback. The specification is immutable, so no lock
 // is needed.

@@ -5,10 +5,40 @@ import (
 	"os"
 	"testing"
 
+	"partsvc/internal/api"
 	"partsvc/internal/trace"
 	"partsvc/internal/transport"
 	"partsvc/internal/wire"
 )
+
+// benchmarkLoopbackRPC measures one echo RPC over TCP loopback — the
+// denominator every overhead guard compares its instrumentation cost
+// against.
+func benchmarkLoopbackRPC(t *testing.T) testing.BenchmarkResult {
+	t.Helper()
+	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
+		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Body: m.Body}
+	})
+	tr := transport.NewTCP()
+	ln, err := tr.Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ep, err := tr.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	body := make([]byte, 256)
+	return testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ep.Call(&wire.Message{Kind: wire.KindRequest, Method: "echo", Body: body}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // TestTracingOverheadGuard is the CI regression gate for the
 // tracing-disabled fast path: the per-RPC cost of the disabled trace
@@ -34,28 +64,7 @@ func TestTracingOverheadGuard(t *testing.T) {
 	})
 
 	// Cost of one real RPC on the path the gates sit on.
-	h := transport.HandlerFunc(func(m *wire.Message) *wire.Message {
-		return &wire.Message{Kind: wire.KindResponse, ID: m.ID, Body: m.Body}
-	})
-	tr := transport.NewTCP()
-	ln, err := tr.Serve("127.0.0.1:0", h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
-	ep, err := tr.Dial(ln.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ep.Close()
-	body := make([]byte, 256)
-	rpc := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := ep.Call(&wire.Message{Kind: wire.KindRequest, Method: "echo", Body: body}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	rpc := benchmarkLoopbackRPC(t)
 
 	// Gates on one traced request path: client call, server serve, mail
 	// handler, coherence flush, tunnel seal/open, plus slack.
@@ -73,5 +82,39 @@ func TestTracingOverheadGuard(t *testing.T) {
 	}
 	if overhead > 0.02 {
 		t.Errorf("disabled tracing adds %.2f%% to an RPC, budget is 2%%", 100*overhead)
+	}
+}
+
+// TestEventBusOverheadGuard is the CI regression gate for the event
+// bus's quiet path: publishing a control-plane event with no SSE
+// subscriber attached (the common case — the adaptation loop always
+// publishes, observers only sometimes watch) must cost under 1% of a
+// TCP loopback RPC. Env-gated like the tracing guard.
+func TestEventBusOverheadGuard(t *testing.T) {
+	if os.Getenv("RUN_OVERHEAD_GUARD") == "" {
+		t.Skip("set RUN_OVERHEAD_GUARD=1 to run the event bus overhead guard")
+	}
+
+	bus := api.NewBus(0)
+	pub := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(api.Event{Source: "adapt", Kind: "stage", Session: "carol", Detail: "flip"})
+		}
+	})
+
+	rpc := benchmarkLoopbackRPC(t)
+	pubNs := float64(pub.NsPerOp())
+	rpcNs := float64(rpc.NsPerOp())
+	if rpcNs == 0 {
+		t.Fatal("rpc benchmark measured 0 ns/op")
+	}
+	// One event per RPC is already generous: the controller publishes
+	// per adaptation step, not per data-plane request.
+	overhead := pubNs / rpcNs
+	t.Logf("no-subscriber publish: %.1f ns/op vs RPC %.0f ns/op → %.3f%% overhead",
+		pubNs, rpcNs, 100*overhead)
+	if overhead > 0.01 {
+		t.Errorf("bus publish with no subscriber adds %.2f%% to an RPC, budget is 1%%", 100*overhead)
 	}
 }
