@@ -9,7 +9,7 @@
 //	psfctl validate [-f spec.xml]     # validate a specification
 //	psfctl chains [-f spec.xml] [-i ClientInterface]
 //	psfctl plan -case-study           # reproduce the Figure 6 plans
-//	psfctl plan -node sd-2 -user Alice [-rate 50] [-objective min-latency]
+//	psfctl plan -node sd-2 -user Alice [-rate 50] [-objective latency] [-backend solver]
 //	psfctl rpc [-callers 64] [-d 2s]  # loopback data-plane throughput probe
 //	psfctl stats [-http :8080]        # unified metrics registry across subsystems
 //	psfctl trace [-sim]               # end-to-end trace of one mail send
@@ -158,8 +158,10 @@ func runPlan(args []string) error {
 	node := fs.String("node", "sd-2", "client node")
 	user := fs.String("user", "Alice", "requesting user")
 	rate := fs.Float64("rate", 50, "request rate (req/s)")
-	objective := fs.String("objective", "min-latency", "min-latency | min-cost | max-capacity")
-	useDP := fs.Bool("dp", false, "use the dynamic-programming chain planner")
+	objective := fs.String("objective", "min-latency",
+		"latency | cost | headroom (canonical min-latency | min-cost | max-capacity also accepted)")
+	backendName := fs.String("backend", "", "exhaustive | dp | solver (default exhaustive)")
+	useDP := fs.Bool("dp", false, "shorthand for -backend dp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,26 +177,26 @@ func runPlan(args []string) error {
 	reg := metrics.NewRegistry()
 	pl.RegisterMetrics(reg, "planner")
 
-	var obj planner.Objective
-	switch *objective {
-	case "min-latency":
-		obj = planner.MinLatency
-	case "min-cost":
-		obj = planner.MinCost
-	case "max-capacity":
-		obj = planner.MaxCapacity
-	default:
-		return fmt.Errorf("unknown objective %q", *objective)
+	obj, err := planner.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	backend, err := planner.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	if *useDP {
+		if *backendName != "" && backend != planner.BackendDP {
+			return fmt.Errorf("-dp conflicts with -backend %s", backend)
+		}
+		backend = planner.BackendDP
+	}
+	if backend == planner.BackendSolver {
+		pl.RegisterSolverMetrics(reg, "solver")
 	}
 
 	plan := func(req planner.Request) error {
-		var dep *planner.Deployment
-		var err error
-		if *useDP {
-			dep, err = pl.PlanDP(req)
-		} else {
-			dep, err = pl.Plan(req)
-		}
+		dep, err := pl.PlanVia(backend, req)
 		if err != nil {
 			return err
 		}

@@ -53,6 +53,7 @@ func runServe(args []string) error {
 	ctrl.SetProber(adapt.NewTransportProber(w.tr), w.engine.ControlAddrs)
 
 	registerPoolSection(metrics.DefaultRegistry)
+	w.gs.Planner().RegisterSolverMetrics(metrics.DefaultRegistry, "solver")
 	srv := api.New(api.Config{
 		Addr: *addr, Token: *token, EnablePprof: *pprofOn,
 	}, api.Control{

@@ -183,7 +183,15 @@ func runStats(args []string) error {
 	}
 	pl.AddExisting(ms)
 	pl.RegisterMetrics(reg, "planner")
+	pl.RegisterSolverMetrics(reg, "solver")
 	if _, err := pl.Plan(planner.Request{
+		Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50,
+	}); err != nil {
+		return err
+	}
+	// Same request through the constraint-solver backend, so the solver
+	// section (solves, propagations, backtracks) renders non-zero.
+	if _, err := pl.PlanSolver(planner.Request{
 		Interface: spec.IfaceClient, ClientNode: topology.SDClient, User: "Alice", RateRPS: 50,
 	}); err != nil {
 		return err

@@ -20,6 +20,7 @@ package adapt
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"partsvc/internal/metrics"
@@ -184,6 +185,7 @@ type Controller struct {
 	sessions       []*Session
 	started        bool
 	stopped        bool
+	pending        *planner.ChangedSet // changes observed since the last pass
 	debounceCancel func() bool
 	pool           *ProbePool
 	poolOwned      bool
@@ -346,6 +348,19 @@ func (c *Controller) onChanges(changes []netmon.Change) {
 	if c.debounceCancel != nil {
 		c.debounceCancel() // extend the window: the burst is still going
 	}
+	if c.pending == nil {
+		c.pending = planner.NewChangedSet()
+	}
+	for _, ch := range changes {
+		switch ch.Kind {
+		case "node":
+			c.pending.AddNode(netmodel.NodeID(ch.Subject))
+		case "link":
+			if a, b, ok := strings.Cut(ch.Subject, "~"); ok {
+				c.pending.AddLink(netmodel.NodeID(a), netmodel.NodeID(b))
+			}
+		}
+	}
 	c.debounceCancel = c.sched.After(c.cfg.DebounceMS, c.debounceExpired)
 	c.mu.Unlock()
 	detail := changes[0].String()
@@ -365,22 +380,40 @@ func (c *Controller) debounceExpired() {
 	}
 }
 
-// adaptAll replans every tracked session against the current network.
+// adaptAll replans every tracked session against the current network,
+// handing the accumulated changed-element set to the executor so a
+// repair-capable planner can scope the re-search to what the changes
+// actually touched.
 func (c *Controller) adaptAll() {
 	c.adaptMu.Lock()
 	defer c.adaptMu.Unlock()
 	c.mu.Lock()
 	sessions := append([]*Session(nil), c.sessions...)
+	ch := c.pending
+	c.pending = nil
 	c.mu.Unlock()
 	for _, s := range sessions {
-		c.adaptSession(s)
+		c.adaptSession(s, ch)
 	}
 }
 
-func (c *Controller) adaptSession(s *Session) {
+// RepairExecutor is the optional executor extension for planners with
+// an incremental repair path: ch names the network elements that
+// changed since the last pass (nil means unknown — full replan).
+type RepairExecutor interface {
+	RepairReplan(old *planner.Deployment, req planner.Request, ch *planner.ChangedSet) (*planner.Diff, error)
+}
+
+func (c *Controller) adaptSession(s *Session, ch *planner.ChangedSet) {
 	old, oldHead, bindings := s.snapshot()
 	c.replans.Inc()
-	diff, err := c.exec.Replan(old, s.Req)
+	var diff *planner.Diff
+	var err error
+	if rx, ok := c.exec.(RepairExecutor); ok && !ch.Empty() {
+		diff, err = rx.RepairReplan(old, s.Req, ch)
+	} else {
+		diff, err = c.exec.Replan(old, s.Req)
+	}
 	if err != nil {
 		c.replanFailures.Inc()
 		c.emit("failed", s.Name, fmt.Sprintf("replan: %v", err))
@@ -468,7 +501,9 @@ func (c *Controller) scheduleRetry(s *Session) {
 			return
 		}
 		c.adaptMu.Lock()
-		c.adaptSession(s)
+		// Retries have no changed-set: the previous attempt already
+		// consumed it, so they take the full-replan path.
+		c.adaptSession(s, nil)
 		c.adaptMu.Unlock()
 	})
 }

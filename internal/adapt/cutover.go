@@ -65,6 +65,13 @@ func (x *EngineExecutor) Replan(old *planner.Deployment, req planner.Request) (*
 	return x.Server.Replan(old, req)
 }
 
+// RepairReplan implements RepairExecutor: the changed-element set flows
+// through to the solver backend's incremental repair (a no-op
+// passthrough to Replan when the planner is not solver-backed).
+func (x *EngineExecutor) RepairReplan(old *planner.Deployment, req planner.Request, ch *planner.ChangedSet) (*planner.Diff, error) {
+	return x.Server.RepairReplan(old, req, ch)
+}
+
 // stateful reports whether a component's instances hold migratable
 // state: data views do ("a data view contains a subset of the
 // functionality and a subset of the data"); relays and object views

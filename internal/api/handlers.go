@@ -72,6 +72,12 @@ type planRequest struct {
 	Node      string  `json:"node"`
 	User      string  `json:"user"`
 	RateRPS   float64 `json:"rate_rps"`
+	// Backend selects the planning algorithm for /v1/plan dry runs:
+	// "exhaustive", "dp", or "solver" ("" = the server's configured
+	// default). Sessions always deploy through the server default.
+	Backend string `json:"backend,omitempty"`
+	// Objective is "latency" (default), "cost", or "headroom".
+	Objective string `json:"objective,omitempty"`
 }
 
 // decodeBody strictly decodes a JSON body into v.
@@ -112,11 +118,17 @@ func (s *Server) validatePlanReq(w http.ResponseWriter, pr planRequest) (planner
 		apiError(w, http.StatusBadRequest, "rate_rps must be >= 0")
 		return planner.Request{}, false
 	}
+	obj, err := planner.ParseObjective(pr.Objective)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return planner.Request{}, false
+	}
 	return planner.Request{
 		Interface:  pr.Interface,
 		ClientNode: netmodel.NodeID(pr.Node),
 		User:       pr.User,
 		RateRPS:    pr.RateRPS,
+		Objective:  obj,
 	}, true
 }
 
@@ -179,7 +191,18 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	dep, err := s.ctl.Server.PlanOnly(req)
+	var dep *planner.Deployment
+	var err error
+	if pr.Backend == "" {
+		dep, err = s.ctl.Server.PlanOnly(req)
+	} else {
+		var b planner.Backend
+		if b, err = planner.ParseBackend(pr.Backend); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		dep, err = s.ctl.Server.PlanOnlyVia(req, b)
+	}
 	if err != nil {
 		apiError(w, http.StatusUnprocessableEntity, "plan: %v", err)
 		return

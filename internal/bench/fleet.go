@@ -126,7 +126,10 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		// 10 rps keeps the DP mapper's load relaxation exact (higher
 		// rates hit bandwidth-bound candidates whose exact re-validation
 		// fails, dropping whole chains to the exhaustive mapper — see
-		// PlanDP); the load condition itself is exercised by A3/A7.
+		// PlanDP). Rate admission itself is uniform across backends now
+		// (PlanVia rejects any deployment whose capacity is below the
+		// request rate); the load condition is exercised by A3/A7 and the
+		// solver backend by A11.
 		mgr.AddSession(fmt.Sprintf("s%05d", i), planner.Request{
 			Interface: spec.IfaceClient, ClientNode: site, User: user, RateRPS: 10,
 		})

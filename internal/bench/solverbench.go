@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"partsvc/internal/metrics"
+	"partsvc/internal/netmodel"
+	"partsvc/internal/netmon"
+	"partsvc/internal/planner"
+	"partsvc/internal/property"
+	"partsvc/internal/spec"
+	"partsvc/internal/topology"
+)
+
+// A11Config tunes the constraint-solver experiment (A11): backend
+// scaling on Waxman topologies and the repair-vs-fresh-replan curve
+// under the Figure-8 fault kinds.
+type A11Config struct {
+	// Sizes are the Waxman topology sizes to sweep.
+	Sizes []int
+	// Seed feeds the Waxman generator.
+	Seed int64
+	// ExhaustiveMax is the largest size at which the exhaustive backend
+	// still runs; beyond it the exhaustive columns print "-" (its search
+	// is factorial in candidate count and would dominate the sweep).
+	ExhaustiveMax int
+	// Workers bounds sweep parallelism; output-invariant (0 = GOMAXPROCS).
+	Workers int
+	// Timing adds wall-clock plan latency columns. Off by default: the
+	// deterministic output must stay byte-identical across runs.
+	Timing bool
+}
+
+// DefaultA11Config returns the headline A11 configuration: sizes up to
+// the 256-node acceptance scenario.
+func DefaultA11Config() A11Config {
+	return A11Config{Sizes: []int{8, 16, 32, 64, 128, 256}, Seed: 7, ExhaustiveMax: 16}
+}
+
+// SolverScalingRow is one backend-scaling data point: the work each
+// planner backend spends on the same request over the same topology,
+// plus the objective value it reaches. Counters and latencies are
+// deterministic; the *WallMS fields are populated only under Timing.
+type SolverScalingRow struct {
+	Nodes int
+	// Solver work counters (constraint engine units).
+	SolverProps, SolverBacktracks, SolverEvals uint64
+	SolverLatencyMS                            float64
+	// DP mapper work (mappings tried) and objective.
+	DPMappings  int
+	DPLatencyMS float64
+	// Exhaustive mapper work and objective; Mappings is -1 when the size
+	// exceeded ExhaustiveMax and the backend was skipped.
+	ExhMappings  int
+	ExhLatencyMS float64
+
+	SolverWallMS, DPWallMS, ExhWallMS float64
+}
+
+// RepairCurveRow is one point of the repair-vs-fresh curve: after one
+// scripted fault on a deployed chain's interior link, the constraint
+// propagations spent by incremental repair versus a fresh solve of the
+// same request under the same network state.
+type RepairCurveRow struct {
+	Nodes int
+	// Event names the Figure-8 fault kind played on the target link.
+	Event string
+	// RepairProps / FreshProps are propagation counts; Ratio is
+	// fresh/repair (the factor repair is cheaper by).
+	RepairProps uint64
+	FreshProps  uint64
+	Ratio       float64
+	// Fallback marks a repair that was infeasible under its pins and
+	// fell back to a fresh solve internally.
+	Fallback bool
+	// Moved counts placements the repair installed anew (0 = the running
+	// graph survived unchanged).
+	Moved int
+}
+
+// A11Result is the full experiment output.
+type A11Result struct {
+	Config  A11Config
+	Scaling []SolverScalingRow
+	Repair  []RepairCurveRow
+}
+
+// RunA11 runs both A11 sweeps. Rows are deterministic for a given
+// config at any Workers value: every size is an independent topology
+// and planner, and the fault script inside a size runs sequentially.
+func RunA11(cfg A11Config) (*A11Result, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("bench: A11 needs at least one topology size")
+	}
+	res := &A11Result{Config: cfg}
+
+	scaling := make([]SolverScalingRow, len(cfg.Sizes))
+	scaleErr := make([]error, len(cfg.Sizes))
+	forEach(cfg.Workers, len(cfg.Sizes), func(i int) {
+		scaling[i], scaleErr[i] = a11Scale(cfg, cfg.Sizes[i])
+	})
+	for _, err := range scaleErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Scaling = scaling
+
+	repair := make([][]RepairCurveRow, len(cfg.Sizes))
+	repErr := make([]error, len(cfg.Sizes))
+	forEach(cfg.Workers, len(cfg.Sizes), func(i int) {
+		repair[i], repErr[i] = a11Repair(cfg, cfg.Sizes[i])
+	})
+	for _, err := range repErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, rows := range repair {
+		res.Repair = append(res.Repair, rows...)
+	}
+	return res, nil
+}
+
+// a11Net builds one sweep topology with the deterministic role
+// assignment shared by A3/A10: a fully trusted primary host at index 0
+// and a branch-trust client at index 1.
+func a11Net(cfg A11Config, n int) (*netmodel.Network, []*netmodel.Node, error) {
+	net, err := topology.Waxman(topology.DefaultWaxman(n, cfg.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := net.Nodes()
+	nodes[0].Props["TrustLevel"] = property.Int(5)
+	nodes[1].Props["TrustLevel"] = property.Int(4)
+	return net, nodes, nil
+}
+
+// a11Planner builds a planner over net with the primary registered.
+func a11Planner(net *netmodel.Network, primaryNode netmodel.NodeID) (*planner.Planner, error) {
+	pl := planner.New(spec.MailService(), net)
+	ms, err := pl.PrimaryPlacement(spec.CompMailServer, primaryNode)
+	if err != nil {
+		return nil, err
+	}
+	pl.AddExisting(ms)
+	return pl, nil
+}
+
+// a11Scale measures one size: the same request planned by all three
+// backends on fresh planners over the same topology.
+func a11Scale(cfg A11Config, n int) (SolverScalingRow, error) {
+	net, nodes, err := a11Net(cfg, n)
+	if err != nil {
+		return SolverScalingRow{}, err
+	}
+	req := planner.Request{
+		Interface: spec.IfaceClient, ClientNode: nodes[1].ID, User: "Alice", RateRPS: 10,
+	}
+	row := SolverScalingRow{Nodes: n, ExhMappings: -1}
+
+	run := func(b planner.Backend) (*planner.Planner, *planner.Deployment, float64, error) {
+		pl, err := a11Planner(net, nodes[0].ID)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		sw := newStopwatch(cfg.Timing)
+		dep, err := pl.PlanVia(b, req)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return pl, dep, sw.lapMS(), nil
+	}
+
+	pl, dep, wall, err := run(planner.BackendSolver)
+	if err != nil {
+		return row, err
+	}
+	row.SolverProps = pl.SolverStats.Propagations.Load()
+	row.SolverBacktracks = pl.SolverStats.Backtracks.Load()
+	row.SolverEvals = pl.SolverStats.Evaluations.Load()
+	row.SolverLatencyMS = dep.ExpectedLatencyMS
+	row.SolverWallMS = wall
+
+	pl, dep, wall, err = run(planner.BackendDP)
+	if err != nil {
+		return row, err
+	}
+	row.DPMappings = pl.Stats().MappingsTried
+	row.DPLatencyMS = dep.ExpectedLatencyMS
+	row.DPWallMS = wall
+
+	if n <= cfg.ExhaustiveMax {
+		pl, dep, wall, err = run(planner.BackendExhaustive)
+		if err != nil {
+			return row, err
+		}
+		row.ExhMappings = pl.Stats().MappingsTried
+		row.ExhLatencyMS = dep.ExpectedLatencyMS
+		row.ExhWallMS = wall
+	}
+	return row, nil
+}
+
+// a11Faults are the Figure-8 fault kinds replayed on the target link,
+// in script order: degrade it, restore it, sever it.
+func a11Faults(origLat, origBW float64) []struct {
+	name     string
+	lat, mbs float64
+} {
+	return []struct {
+		name     string
+		lat, mbs float64
+	}{
+		{"link-degrade", origLat + 800, origBW},
+		{"link-restore", origLat, origBW},
+		{"link-down", downLinkLatencyMS, downLinkBandwidthMbps},
+	}
+}
+
+// a11Repair plays the fault script against one deployed session and
+// measures, per event, incremental repair against a fresh solve of the
+// same request under the same (post-fault) network state and reuse set.
+func a11Repair(cfg A11Config, n int) ([]RepairCurveRow, error) {
+	net, nodes, err := a11Net(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	mon := netmon.New(net)
+
+	// Deterministic client scan: the first node whose solver plan is a
+	// 3+ placement chain, so the fault can land on an interior edge away
+	// from the pinned head.
+	var (
+		pl  *planner.Planner
+		dep *planner.Deployment
+		req planner.Request
+	)
+	for _, node := range nodes[1:] {
+		cand, err := a11Planner(net, nodes[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		cand.PreferSolver = true
+		r := planner.Request{Interface: spec.IfaceClient, ClientNode: node.ID, User: "Alice", RateRPS: 10}
+		d, err := cand.PlanSolver(r)
+		if err != nil || len(d.Placements) < 3 {
+			continue
+		}
+		pl, dep, req = cand, d, r
+		break
+	}
+	if pl == nil {
+		return []RepairCurveRow{{Nodes: n, Event: "no-interior-chain"}}, nil
+	}
+	pl.AddExisting(dep.Placements...)
+
+	// Target an interior-edge link clear of the head edge (a head hit
+	// forces the fallback path by design and would measure nothing).
+	var a, b netmodel.NodeID
+	for _, e := range dep.Edges {
+		if e.From == 0 || len(e.Path.Nodes) < 2 {
+			continue
+		}
+		for i := 0; i+1 < len(e.Path.Nodes); i++ {
+			ch := planner.NewChangedSet()
+			ch.AddLink(e.Path.Nodes[i], e.Path.Nodes[i+1])
+			if !ch.PathAffected(dep.Edges[0].Path) && !ch.NodeAffected(req.ClientNode) {
+				a, b = e.Path.Nodes[i], e.Path.Nodes[i+1]
+				break
+			}
+		}
+		if a != "" {
+			break
+		}
+	}
+	if a == "" {
+		return []RepairCurveRow{{Nodes: n, Event: "no-clear-interior-link"}}, nil
+	}
+	orig, _ := net.Link(a, b)
+	origLat, origBW := orig.LatencyMS, orig.BandwidthMbps
+
+	var rows []RepairCurveRow
+	for _, f := range a11Faults(origLat, origBW) {
+		if err := mon.ReportLink(a, b, f.lat, f.mbs, nil); err != nil {
+			return nil, err
+		}
+		ch := planner.NewChangedSet()
+		ch.AddLink(a, b)
+
+		// Fresh-replan reference on its own planner: same topology state,
+		// same reuse set, but the full ReplanRewire pass a control plane
+		// without incremental repair would run on every event (including
+		// its anchor-free rewire check) — the honest baseline, since the
+		// repair path's fallback pays exactly that when repair is
+		// infeasible.
+		fresh, err := a11Planner(net, nodes[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		fresh.PreferSolver = true
+		fresh.AddExisting(dep.Placements...)
+		if _, err := fresh.ReplanRewire(dep, req); err != nil {
+			return nil, err
+		}
+		freshProps := fresh.SolverStats.Propagations.Load()
+
+		propsBefore := pl.SolverStats.Propagations.Load()
+		fallbacksBefore := pl.SolverStats.RepairFallbacks.Load()
+		diff, err := pl.RepairReplan(dep, req, ch)
+		if err != nil {
+			return nil, err
+		}
+		repairProps := pl.SolverStats.Propagations.Load() - propsBefore
+
+		row := RepairCurveRow{
+			Nodes: n, Event: f.name,
+			RepairProps: repairProps, FreshProps: freshProps,
+			Fallback: pl.SolverStats.RepairFallbacks.Load() > fallbacksBefore,
+			Moved:    len(diff.Install),
+		}
+		if repairProps > 0 {
+			row.Ratio = float64(freshProps) / float64(repairProps)
+		}
+		rows = append(rows, row)
+
+		// Adopt the repair like the runtime would: drained removals leave
+		// the reuse set, new placements join it.
+		pl.DropExisting(diff.Remove...)
+		pl.AddExisting(diff.New.Placements...)
+		dep = diff.New
+	}
+	return rows, nil
+}
+
+// A11ScalingTable renders the backend-scaling sweep.
+func A11ScalingTable(res *A11Result) string {
+	cols := []string{"nodes", "solver_props", "solver_backtracks", "solver_evals",
+		"dp_mappings", "exh_mappings", "solver_lat_ms", "dp_lat_ms", "exh_lat_ms"}
+	if res.Config.Timing {
+		cols = append(cols, "solver_wall_ms", "dp_wall_ms", "exh_wall_ms")
+	}
+	t := metrics.NewTable(cols...)
+	for _, r := range res.Scaling {
+		exhMaps, exhLat := "-", "-"
+		if r.ExhMappings >= 0 {
+			exhMaps = fmt.Sprint(r.ExhMappings)
+			exhLat = fmt.Sprintf("%.2f", r.ExhLatencyMS)
+		}
+		vals := []interface{}{r.Nodes, r.SolverProps, r.SolverBacktracks, r.SolverEvals,
+			r.DPMappings, exhMaps,
+			fmt.Sprintf("%.2f", r.SolverLatencyMS), fmt.Sprintf("%.2f", r.DPLatencyMS), exhLat}
+		if res.Config.Timing {
+			exhWall := "-"
+			if r.ExhMappings >= 0 {
+				exhWall = fmt.Sprintf("%.1f", r.ExhWallMS)
+			}
+			vals = append(vals, fmt.Sprintf("%.1f", r.SolverWallMS), fmt.Sprintf("%.1f", r.DPWallMS), exhWall)
+		}
+		t.AddRow(vals...)
+	}
+	return t.String()
+}
+
+// A11RepairTable renders the repair-vs-fresh curve plus its headline:
+// the worst (smallest) cheapness ratio across feasible repairs. Fallback
+// rows are excluded from the headline — when repair is infeasible the
+// planner pays exactly the fresh-replan cost by construction, so their
+// ~1x parity is reported separately, not as a repair result.
+func A11RepairTable(res *A11Result) string {
+	var sb strings.Builder
+	t := metrics.NewTable("nodes", "event", "repair_props", "fresh_props", "ratio", "fallback", "moved")
+	worst := -1.0
+	fallbacks := 0
+	for _, r := range res.Repair {
+		ratio := "-"
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.1fx", r.Ratio)
+			if r.Fallback {
+				fallbacks++
+			} else if worst < 0 || r.Ratio < worst {
+				worst = r.Ratio
+			}
+		}
+		t.AddRow(r.Nodes, r.Event, r.RepairProps, r.FreshProps, ratio, r.Fallback, r.Moved)
+	}
+	sb.WriteString(t.String())
+	if worst > 0 {
+		fmt.Fprintf(&sb, "\nrepair vs fresh solve: worst feasible-repair case %.1fx fewer propagations\n", worst)
+	}
+	if fallbacks > 0 {
+		fmt.Fprintf(&sb, "infeasible-repair events falling back to a fresh replan at parity: %d\n", fallbacks)
+	}
+	return sb.String()
+}

@@ -42,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"partsvc/internal/adapt"
 	"partsvc/internal/metrics"
@@ -208,6 +209,7 @@ type Manager struct {
 	replansTotal        *metrics.Counter
 	planComputes        *metrics.Counter
 	memoHits            *metrics.Counter
+	memoLookups         *metrics.Counter
 	routeLookups        *metrics.Counter
 	cutovers            *metrics.Counter
 	cutoversRateLimited *metrics.Counter
@@ -222,6 +224,7 @@ type Manager struct {
 	debounceCancel func() bool
 	pendingAll     bool
 	pendingIdx     map[int]struct{}
+	pendingCh      *planner.ChangedSet // changed elements since the last wave
 	waveSeq        uint64
 	onWave         func(WaveReport)
 	onEvent        func(session string, e Event)
@@ -235,6 +238,10 @@ type WaveReport struct {
 	Sessions     int
 	PlanComputes int
 	MemoHits     int
+	// MemoLookups is the number of wave-memo lookups the wave issued:
+	// with per-shape batching this is the distinct shapes per shard, not
+	// one lookup per session.
+	MemoLookups  int
 	RouteLookups int
 	Cutovers     int
 	Deferred     int
@@ -265,6 +272,7 @@ func New(cfg Config, svc *spec.Service, net *netmodel.Network, mon *netmon.Monit
 		replansTotal:        reg.Counter("fleet.replans"),
 		planComputes:        reg.Counter("fleet.plan_computes"),
 		memoHits:            reg.Counter("fleet.memo_hits"),
+		memoLookups:         reg.Counter("fleet.memo_lookups"),
 		routeLookups:        reg.Counter("fleet.route_lookups"),
 		cutovers:            reg.Counter("fleet.cutovers"),
 		cutoversRateLimited: reg.Counter("fleet.cutovers_rate_limited"),
@@ -439,7 +447,7 @@ func (m *Manager) Bootstrap() WaveReport {
 		all[i] = i
 	}
 	m.mu.Unlock()
-	return m.runWave(all, true)
+	return m.runWave(all, true, nil)
 }
 
 // onChanges is the fleet's single netmon subscription. It runs under
@@ -451,9 +459,20 @@ func (m *Manager) onChanges(changes []netmon.Change) {
 	if m.stopped {
 		return
 	}
+	if m.pendingCh == nil {
+		m.pendingCh = planner.NewChangedSet()
+	}
 	for _, ch := range changes {
 		for _, idx := range m.affectedByLocked(ch) {
 			m.pendingIdx[idx] = struct{}{}
+		}
+		switch ch.Kind {
+		case "node":
+			m.pendingCh.AddNode(netmodel.NodeID(ch.Subject))
+		case "link":
+			if a, b, ok := strings.Cut(ch.Subject, "~"); ok {
+				m.pendingCh.AddLink(netmodel.NodeID(a), netmodel.NodeID(b))
+			}
 		}
 	}
 	if m.debounceCancel != nil {
@@ -585,9 +604,11 @@ func (m *Manager) debounceExpired() {
 	}
 	m.pendingAll = false
 	m.pendingIdx = map[int]struct{}{}
+	ch := m.pendingCh
+	m.pendingCh = nil
 	m.mu.Unlock()
 	if len(affected) > 0 {
-		m.runWave(affected, false)
+		m.runWave(affected, false, ch)
 	}
 }
 
@@ -604,7 +625,7 @@ type waveResult struct {
 // deduped through a shared memo — then a sequential commit phase in
 // global session order, governed by the cutover brake. bootstrap
 // bypasses the governor.
-func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
+func (m *Manager) runWave(affected []int, bootstrap bool, ch *planner.ChangedSet) WaveReport {
 	m.mu.Lock()
 	m.waveSeq++
 	wave := m.waveSeq
@@ -642,25 +663,57 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 			work = append(work, sh)
 		}
 	}
+	var memoLookups atomic.Uint64
 	runShard := func(sh int) {
 		pl := m.shards[sh].pl
 		pl.PinRoutes(rc)
 		defer pl.PinRoutes(nil)
+		// Batch the shard's sessions by wave key first: same-shaped
+		// sessions resolve through ONE memo lookup (and at most one
+		// computation), not one lookup per session — the residual serial
+		// cost the per-session loop used to pay on every memo hit.
+		type waveGroup struct {
+			key  string
+			dep  *planner.Deployment
+			req  planner.Request
+			idxs []int
+		}
+		order := make([]*waveGroup, 0, len(byShard[sh]))
+		groups := map[string]*waveGroup{}
 		for _, idx := range byShard[sh] {
 			s := sessions[idx]
 			dep := s.snapshotDep()
 			key := planner.WaveKey(s.Req, existingFP, epoch, dep)
-			diff, _, hit, err := memo.Do(key, func() (*planner.Diff, planner.Stats, error) {
+			g, ok := groups[key]
+			if !ok {
+				g = &waveGroup{key: key, dep: dep, req: s.Req}
+				groups[key] = g
+				order = append(order, g) // first-occurrence order: deterministic
+			}
+			g.idxs = append(g.idxs, idx)
+		}
+		for _, g := range order {
+			memoLookups.Add(1)
+			g := g
+			diff, _, hit, err := memo.Do(g.key, func() (*planner.Diff, planner.Stats, error) {
 				// Each computation plans against the wave-start world:
 				// the planner's reuse set is re-synced so earlier
 				// sessions' in-wave mutations never leak across
 				// sessions (or shards — this is what keeps output
-				// invariant under any shard count).
+				// invariant under any shard count). The changed-element
+				// set scopes a solver-backed planner's repair; other
+				// backends fall through to the full rewire replan.
 				pl.Existing = append(pl.Existing[:0], snapshot...)
-				d, err := pl.ReplanRewire(dep, s.Req)
+				d, err := pl.RepairReplan(g.dep, g.req, ch)
 				return d, pl.Stats(), err
 			})
-			slots[idx] = waveResult{diff: diff, hit: hit, err: err}
+			for k, idx := range g.idxs {
+				d := diff
+				if d != nil && k > 0 {
+					d = diff.Clone() // members commit independent copies
+				}
+				slots[idx] = waveResult{diff: d, hit: hit || k > 0, err: err}
+			}
 		}
 	}
 	if workers := m.cfg.Workers; workers > 1 && len(work) > 1 {
@@ -689,16 +742,24 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 		}
 	}
 
-	hits, misses := memo.Counters()
+	_, misses := memo.Counters()
 	rh1, rm1 := rc.Counters()
 	report := WaveReport{
 		Wave:         wave,
 		StartMS:      startMS,
 		Sessions:     len(affected),
 		PlanComputes: int(misses),
-		MemoHits:     int(hits),
+		MemoLookups:  int(memoLookups.Load()),
 		RouteLookups: int((rh1 + rm1) - (rh0 + rm0)),
 		Epoch:        epoch,
+	}
+	// MemoHits counts sessions that shared another session's computation
+	// (in-shard batch members and cross-shard memo hits alike), so
+	// Sessions = PlanComputes + MemoHits + (failed computes' extra members).
+	for _, idx := range affected {
+		if slots[idx].hit {
+			report.MemoHits++
+		}
 	}
 
 	// Commit phase: sequential, global session order.
@@ -774,6 +835,7 @@ func (m *Manager) runWave(affected []int, bootstrap bool) WaveReport {
 	m.replansTotal.Add(int64(report.Sessions))
 	m.planComputes.Add(int64(report.PlanComputes))
 	m.memoHits.Add(int64(report.MemoHits))
+	m.memoLookups.Add(int64(report.MemoLookups))
 	m.routeLookups.Add(int64(report.RouteLookups))
 	m.cutovers.Add(int64(report.Cutovers))
 	m.emitWave(Event{AtMS: m.sched.NowMS(), Wave: wave, Kind: "wave-close",

@@ -78,6 +78,15 @@ func TestBootstrapSharesComputationsAndInstances(t *testing.T) {
 	if rep.MemoHits != n-2 {
 		t.Fatalf("memo hits = %d, want %d", rep.MemoHits, n-2)
 	}
+	// Per-shape batching: a shard issues one memo lookup per distinct
+	// session shape, not one per session (the old per-session loop paid
+	// n lookups here). With 2 shapes over 4 shards that is at most 8.
+	if rep.MemoLookups >= rep.Sessions {
+		t.Fatalf("memo lookups = %d for %d sessions — per-shape batching is not active", rep.MemoLookups, rep.Sessions)
+	}
+	if rep.MemoLookups < rep.PlanComputes || rep.MemoLookups > 2*4 {
+		t.Fatalf("memo lookups = %d, want between %d and 8 (shapes x shards)", rep.MemoLookups, rep.PlanComputes)
+	}
 	if rep.Failed != 0 {
 		t.Fatalf("%d sessions failed to bootstrap", rep.Failed)
 	}

@@ -1,0 +1,97 @@
+package planner
+
+import "fmt"
+
+// Backend selects the planning algorithm behind one common seam: the
+// paper's exhaustive mapper, the CANS-style chain DP, or the
+// constraint-solver backend (internal/solver) that also covers
+// tree-shaped linkage graphs and supports incremental repair.
+type Backend int
+
+const (
+	// BackendExhaustive is Plan: exhaustive node assignment per chain.
+	BackendExhaustive Backend = iota
+	// BackendDP is PlanDP: Pareto-pruned dynamic programming per chain.
+	BackendDP
+	// BackendSolver is PlanSolver: AC-3 propagation plus branch-and-bound
+	// over chain- and tree-shaped linkage graphs.
+	BackendSolver
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendDP:
+		return "dp"
+	case BackendSolver:
+		return "solver"
+	}
+	return "exhaustive"
+}
+
+// ParseBackend resolves a backend name ("exhaustive", "dp", "solver").
+// The empty string selects the exhaustive default.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "exhaustive":
+		return BackendExhaustive, nil
+	case "dp":
+		return BackendDP, nil
+	case "solver":
+		return BackendSolver, nil
+	}
+	return 0, fmt.Errorf("planner: unknown backend %q (want exhaustive, dp, or solver)", s)
+}
+
+// ParseObjective resolves an objective name. Both the short API/CLI
+// aliases ("latency", "cost", "headroom") and the canonical String
+// forms are accepted; the empty string selects min-latency.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "latency", "min-latency":
+		return MinLatency, nil
+	case "cost", "min-cost":
+		return MinCost, nil
+	case "headroom", "capacity", "max-capacity":
+		return MaxCapacity, nil
+	}
+	return 0, fmt.Errorf("planner: unknown objective %q (want latency, cost, or headroom)", s)
+}
+
+// Preferred resolves the planner's configured default backend from the
+// PreferSolver/PreferDP flags (solver takes precedence).
+func (pl *Planner) Preferred() Backend {
+	switch {
+	case pl.PreferSolver:
+		return BackendSolver
+	case pl.PreferDP:
+		return BackendDP
+	}
+	return BackendExhaustive
+}
+
+// PlanVia satisfies the request through the selected backend. Rate
+// admission (validity condition 3) is enforced here, uniformly across
+// backends: a returned deployment always sustains the request rate, so
+// no backend-specific relaxation (the DP's load model, the solver's
+// tree mapper) can leak an over-committed deployment to the caller.
+func (pl *Planner) PlanVia(b Backend, req Request) (*Deployment, error) {
+	var dep *Deployment
+	var err error
+	switch b {
+	case BackendDP:
+		dep, err = pl.PlanDP(req)
+	case BackendSolver:
+		dep, err = pl.PlanSolver(req)
+	default:
+		dep, err = pl.Plan(req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.RateRPS > 0 && dep.CapacityRPS < req.RateRPS {
+		return nil, fmt.Errorf("planner: %s backend returned deployment with capacity %.1f rps below request rate %.1f",
+			b, dep.CapacityRPS, req.RateRPS)
+	}
+	return dep, nil
+}

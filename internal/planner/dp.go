@@ -66,6 +66,15 @@ type dpOpt struct {
 	// cachingIDs fingerprints the caching (RRF<1) component
 	// configurations used by the tail, for the duplicate-replica rule.
 	cachingIDs map[string]bool
+	// capTail is an optimistic upper bound on the per-client request
+	// rate the tail sustains (component capacities and per-edge path
+	// bottlenecks under optimistic flow weights, no cross-edge
+	// aggregation). Exact capacity never exceeds it, so a request rate
+	// above capTail makes the tail load-infeasible in every completion
+	// and the DP prunes it instead of discovering the violation at
+	// exact re-validation (which would drop the whole chain to the
+	// exhaustive mapper).
+	capTail float64
 }
 
 // dpChain maps one chain with tail-to-head dynamic programming.
@@ -89,6 +98,18 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 	k := len(chain) - 1
 	memo := make(map[int]map[netmodel.NodeID][]dpOpt)
 
+	// Optimistic flow weights (every caching RRF at full effect): true
+	// in/out coefficients are never below these, so capacity bounds
+	// derived from them never under-estimate.
+	wIn := make([]float64, len(chain))
+	wOut := make([]float64, len(chain))
+	w := 1.0
+	for i := range chain {
+		wIn[i] = w
+		w *= chain[i].comp.Behaviors.EffectiveRRF()
+		wOut[i] = w
+	}
+
 	// options returns the Pareto set for placing chain[pos..k] with
 	// chain[pos] at the given node.
 	var options func(pos int, node netmodel.NodeID) []dpOpt
@@ -111,7 +132,11 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 		selfID := place.Component + "{" + place.configFP() + "}"
 
 		if pos == k {
-			opt := dpOpt{places: []Placement{place}, cachingIDs: map[string]bool{}}
+			opt := dpOpt{places: []Placement{place}, cachingIDs: map[string]bool{}, capTail: compCapUpper(chain, k, wIn)}
+			if req.RateRPS > 0 && req.RateRPS > opt.capTail+1e-9 {
+				pl.stats.RejectedLoad++
+				return out
+			}
 			if chain[k].isAnchor() {
 				opt.offers = chain[k].anchor.Offers.Clone()
 				opt.upLat = chain[k].anchor.UpstreamMS
@@ -165,6 +190,11 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 					upLat:      rrf * (hop + tail.upLat),
 					newComps:   tail.newComps,
 					cachingIDs: tail.cachingIDs,
+					capTail:    math.Min(tail.capTail, math.Min(compCapUpper(chain, pos, wIn), linkCapUpper(chain, pos, path, wOut))),
+				}
+				if req.RateRPS > 0 && req.RateRPS > opt.capTail+1e-9 {
+					pl.stats.RejectedLoad++
+					continue
 				}
 				if caching {
 					ids := make(map[string]bool, len(tail.cachingIDs)+1)
@@ -180,7 +210,7 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 				out = append(out, opt)
 			}
 		}
-		out = paretoPrune(out)
+		out = paretoPrune(out, req.RateRPS)
 		return out
 	}
 
@@ -208,6 +238,11 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 			opt := tail
 			opt.places = append([]Placement{head}, tail.places...)
 			opt.upLat = chain[0].comp.Behaviors.EffectiveRRF() * (hop + tail.upLat)
+			opt.capTail = math.Min(tail.capTail, math.Min(compCapUpper(chain, 0, wIn), linkCapUpper(chain, 0, path, wOut)))
+			if req.RateRPS > 0 && req.RateRPS > opt.capTail+1e-9 {
+				pl.stats.RejectedLoad++
+				continue
+			}
 			if !head.Reused {
 				opt.newComps++
 			}
@@ -225,7 +260,34 @@ func (pl *Planner) dpChain(chain Chain, req Request) *Deployment {
 	if dep := pl.validate(chain, bestOpt.places, req); dep != nil {
 		return dep
 	}
+	pl.stats.DPFallbacks++
 	return pl.mapChain(chain, req)
+}
+
+// compCapUpper is an optimistic per-client-rate capacity bound from the
+// component capacity at a chain position: true in-flow is at least the
+// optimistic weight, so true capacity is at most this.
+func compCapUpper(chain Chain, pos int, wIn []float64) float64 {
+	if c := chain[pos].comp.Behaviors.CapacityRPS; c > 0 && wIn[pos] > 0 {
+		return c / wIn[pos]
+	}
+	return math.Inf(1)
+}
+
+// linkCapUpper is an optimistic per-client-rate capacity bound from the
+// path carrying the linkage leaving pos: the path bottleneck against
+// the provider's bytes at optimistic flow, ignoring cross-edge link
+// aggregation (which can only reduce capacity further).
+func linkCapUpper(chain Chain, pos int, path netmodel.Path, wOut []float64) float64 {
+	if path.IsLoopback() || path.BottleneckMbps <= 0 || math.IsInf(path.BottleneckMbps, 1) {
+		return math.Inf(1)
+	}
+	b := chain[pos+1].comp.Behaviors
+	bits := float64(b.RequestBytes+b.ResponseBytes) * 8
+	if bits <= 0 || wOut[pos] <= 0 {
+		return math.Inf(1)
+	}
+	return path.BottleneckMbps * 1e6 / (wOut[pos] * bits)
 }
 
 // candidateAt builds the placement for chain[pos] at a node, honoring
@@ -363,8 +425,11 @@ func placesString(ps []Placement) string {
 }
 
 // paretoPrune keeps, within each (offers, cachingIDs) group, only the
-// options not dominated in (upLat, newComps).
-func paretoPrune(opts []dpOpt) []dpOpt {
+// options not dominated in (upLat, newComps). Under a positive request
+// rate an option additionally survives when it promises more capacity
+// headroom than its would-be dominator: the cheaper option might fail
+// exact load validation where the roomier one passes.
+func paretoPrune(opts []dpOpt, rateRPS float64) []dpOpt {
 	groups := map[string][]dpOpt{}
 	for _, o := range opts {
 		ids := make([]string, 0, len(o.cachingIDs))
@@ -387,6 +452,9 @@ func paretoPrune(opts []dpOpt) []dpOpt {
 			dominated := false
 			for j, b := range g {
 				if i == j {
+					continue
+				}
+				if rateRPS > 0 && b.capTail < a.capTail-1e-9 {
 					continue
 				}
 				if b.upLat <= a.upLat+1e-12 && b.newComps <= a.newComps &&

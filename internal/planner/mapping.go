@@ -192,7 +192,7 @@ func (pl *Planner) validate(chain Chain, places []Placement, req Request) *Deplo
 		}
 	}
 	for i := range paths {
-		dep.Edges = append(dep.Edges, Edge{From: i, To: i + 1, Path: paths[i]})
+		dep.Edges = append(dep.Edges, Edge{From: i, To: i + 1, Path: paths[i], Iface: chain.linkIface(i)})
 	}
 	for _, p := range dep.Placements {
 		if !p.Reused {

@@ -241,4 +241,5 @@ func (s *Stats) add(o Stats) {
 	s.RejectedNoPath += o.RejectedNoPath
 	s.RouteCacheHits += o.RouteCacheHits
 	s.RouteCacheMisses += o.RouteCacheMisses
+	s.DPFallbacks += o.DPFallbacks
 }

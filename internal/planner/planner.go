@@ -24,6 +24,7 @@ import (
 	"partsvc/internal/metrics"
 	"partsvc/internal/netmodel"
 	"partsvc/internal/property"
+	"partsvc/internal/solver"
 	"partsvc/internal/spec"
 )
 
@@ -157,6 +158,11 @@ func (p Placement) String() string {
 type Edge struct {
 	From, To int
 	Path     netmodel.Path
+	// Iface is the interface the linkage serves (the From component's
+	// required interface this edge satisfies). Chain deployments leave
+	// the engine free to derive it; tree deployments need it to wire
+	// multi-upstream components unambiguously.
+	Iface string
 }
 
 // Deployment is a validated mapping of a linkage chain onto the network.
@@ -221,6 +227,9 @@ type Stats struct {
 	// build a single-source tree, over the duration of the plan call.
 	RouteCacheHits   int
 	RouteCacheMisses int
+	// DPFallbacks counts chains the DP mapper handed to the exhaustive
+	// mapper because its selected candidate failed exact re-validation.
+	DPFallbacks int
 }
 
 // Planner binds a service specification to a network and plans
@@ -265,6 +274,14 @@ type Planner struct {
 	// unaffected (PlanDP falls back to it where the DP relaxation does
 	// not apply).
 	PreferDP bool
+	// PreferSolver routes Replan's planning pass through the
+	// constraint-solver backend (PlanSolver), and enables incremental
+	// repair in RepairReplan. Takes precedence over PreferDP.
+	PreferSolver bool
+	// SolverStats accumulates constraint-engine counters (solves,
+	// repairs, propagations, ...) across plan calls. Shared by worker
+	// clones; initialized by New.
+	SolverStats *solver.Stats
 
 	stats  Stats
 	memo   *planMemo
@@ -284,6 +301,7 @@ func New(svc *spec.Service, net *netmodel.Network) *Planner {
 		Net:             net,
 		LoopbackEnv:     property.Set{"Confidentiality": property.Bool(true)},
 		DeployPenaltyMS: 5,
+		SolverStats:     &solver.Stats{},
 	}
 }
 
@@ -311,6 +329,7 @@ func (s Stats) KVs() []metrics.KV {
 		metrics.KVf("rejected_no_path", "%d", s.RejectedNoPath),
 		metrics.KVf("route_cache_hits", "%d", s.RouteCacheHits),
 		metrics.KVf("route_cache_misses", "%d", s.RouteCacheMisses),
+		metrics.KVf("dp_fallbacks", "%d", s.DPFallbacks),
 	}
 }
 
@@ -319,6 +338,13 @@ func (s Stats) KVs() []metrics.KV {
 // time, so the section always shows the most recent Plan call.
 func (pl *Planner) RegisterMetrics(reg *metrics.Registry, section string) {
 	reg.RegisterSection(section, func() []metrics.KV { return pl.Stats().KVs() })
+}
+
+// RegisterSolverMetrics exposes the constraint-engine counters in reg
+// under the given section name ("solver"). Unlike the per-plan planner
+// stats, these accumulate across calls.
+func (pl *Planner) RegisterSolverMetrics(reg *metrics.Registry, section string) {
+	reg.RegisterSection(section, func() []metrics.KV { return pl.SolverStats.KVs() })
 }
 
 // maxLen returns the effective chain length bound.

@@ -1,0 +1,248 @@
+package planner
+
+import (
+	"sort"
+	"strings"
+
+	"partsvc/internal/netmodel"
+	"partsvc/internal/solver"
+)
+
+// ChangedSet names the network elements a monitoring event touched:
+// nodes whose properties or liveness changed, and links whose latency,
+// bandwidth, or property environment changed. Incremental repair uses
+// it to decide which placements of a deployment are actually affected.
+type ChangedSet struct {
+	nodes map[netmodel.NodeID]bool
+	links map[[2]netmodel.NodeID]bool
+}
+
+// NewChangedSet returns an empty change set.
+func NewChangedSet() *ChangedSet {
+	return &ChangedSet{nodes: map[netmodel.NodeID]bool{}, links: map[[2]netmodel.NodeID]bool{}}
+}
+
+// AddNode records a changed node.
+func (c *ChangedSet) AddNode(n netmodel.NodeID) { c.nodes[n] = true }
+
+// AddLink records a changed link; endpoint order is canonicalized.
+func (c *ChangedSet) AddLink(a, b netmodel.NodeID) {
+	if b < a {
+		a, b = b, a
+	}
+	c.links[[2]netmodel.NodeID{a, b}] = true
+}
+
+// Merge folds another change set into this one.
+func (c *ChangedSet) Merge(o *ChangedSet) {
+	if o == nil {
+		return
+	}
+	for n := range o.nodes {
+		c.nodes[n] = true
+	}
+	for l := range o.links {
+		c.links[l] = true
+	}
+}
+
+// Empty reports whether nothing changed.
+func (c *ChangedSet) Empty() bool {
+	return c == nil || (len(c.nodes) == 0 && len(c.links) == 0)
+}
+
+// NodeAffected reports whether the node is in the change set.
+func (c *ChangedSet) NodeAffected(n netmodel.NodeID) bool { return c != nil && c.nodes[n] }
+
+// PathAffected reports whether the path traverses a changed node or
+// link.
+func (c *ChangedSet) PathAffected(p netmodel.Path) bool {
+	if c == nil {
+		return false
+	}
+	for i, n := range p.Nodes {
+		if c.nodes[n] {
+			return true
+		}
+		if i+1 < len(p.Nodes) {
+			a, b := n, p.Nodes[i+1]
+			if b < a {
+				a, b = b, a
+			}
+			if c.links[[2]netmodel.NodeID{a, b}] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the set deterministically ("nodes[sd-2] links[ny-1~sd-1]").
+func (c *ChangedSet) String() string {
+	if c.Empty() {
+		return "empty"
+	}
+	nodes := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		nodes = append(nodes, string(n))
+	}
+	sort.Strings(nodes)
+	links := make([]string, 0, len(c.links))
+	for l := range c.links {
+		links = append(links, string(l[0])+"~"+string(l[1]))
+	}
+	sort.Strings(links)
+	return "nodes[" + strings.Join(nodes, " ") + "] links[" + strings.Join(links, " ") + "]"
+}
+
+// RepairReplan adapts a session to a network change like ReplanRewire,
+// but when the solver backend is preferred and the changed elements are
+// known it repairs the old deployment incrementally: placements
+// untouched by the change keep their assignment (their solver domains
+// collapse to the previous value), only invalidated domains re-open,
+// and constraint propagation plus branch-and-bound run over the
+// affected remainder — O(affected) work instead of O(topology). When
+// repair is infeasible under its pins (or the deployment is not
+// chain-shaped), it falls back to a full ReplanRewire pass, so callers
+// always get a valid diff.
+func (pl *Planner) RepairReplan(old *Deployment, req Request, ch *ChangedSet) (*Diff, error) {
+	if !pl.PreferSolver || old == nil || ch.Empty() {
+		return pl.ReplanRewire(old, req)
+	}
+	pl.beginPlan()
+	evicted := pl.RevalidateExisting()
+	dep, ok := pl.tryRepair(old, req, ch, evicted)
+	pl.endPlan()
+	if !ok {
+		// Fallback: the full pass revalidates again (finding nothing new —
+		// the evictions above already pruned the reuse set), so the diff
+		// must carry the evictions observed here.
+		diff, err := pl.ReplanRewire(old, req)
+		if err != nil {
+			return nil, err
+		}
+		diff.Evicted = append(evicted, diff.Evicted...)
+		return diff, nil
+	}
+	diff := buildDiff(old, dep)
+	diff.Evicted = evicted
+	return diff, nil
+}
+
+// tryRepair pins every placement of the old deployment that the change
+// cannot have affected and re-solves the rest. ok=false requests a
+// fresh full replan.
+func (pl *Planner) tryRepair(old *Deployment, req Request, ch *ChangedSet, evicted []Placement) (*Deployment, bool) {
+	chain, ok := pl.chainOf(old)
+	if !ok {
+		return nil, false // tree-shaped or foreign deployment: replan fresh
+	}
+	evictedKeys := make(map[string]bool, len(evicted))
+	for _, p := range evicted {
+		evictedKeys[p.Key()] = true
+	}
+	n := len(chain)
+	dirty := make([]bool, n)
+	for i, p := range old.Placements {
+		if ch.NodeAffected(p.Node) || evictedKeys[p.Key()] {
+			dirty[i] = true
+			continue
+		}
+		if node, live := pl.Net.Node(p.Node); !live || node.Down {
+			dirty[i] = true
+		}
+	}
+	// An edge whose recorded route traverses a changed element
+	// invalidates both endpoints: either may need to move to restore a
+	// good (or any) route between them.
+	for _, e := range old.Edges {
+		if ch.PathAffected(e.Path) {
+			dirty[e.From] = true
+			dirty[e.To] = true
+		}
+	}
+	// A changed node can also break deployment conditions or re-factor
+	// configurations without appearing in any path.
+	for i := range chain {
+		if dirty[i] || chain[i].isAnchor() {
+			continue
+		}
+		p, live := pl.placementForCached(chain[i].comp, old.Placements[i].Node, req, i)
+		if !live || p.configFP() != old.Placements[i].configFP() {
+			dirty[i] = true
+		}
+	}
+	if dirty[0] {
+		return nil, false // the head is pinned at the client node; replan fresh
+	}
+	m, ok := pl.newChainModel(chain, req)
+	if !ok {
+		return nil, false
+	}
+	prev := make([]int, n)
+	for v := 0; v < n; v++ {
+		if dirty[v] {
+			continue
+		}
+		idx := -1
+		for ci := range m.cands[v] {
+			if m.cands[v][ci].Key() == old.Placements[v].Key() {
+				idx = ci
+				break
+			}
+		}
+		if idx < 0 {
+			// The previous placement is no longer a candidate (conditions
+			// moved, instance evicted): re-open the variable.
+			if v == 0 {
+				return nil, false
+			}
+			dirty[v] = true
+			continue
+		}
+		prev[v] = idx
+	}
+	s := solver.Solver{Stats: pl.SolverStats}
+	sol, _, solved := s.Repair(m, prev, dirty)
+	if !solved {
+		return nil, false
+	}
+	return sol.Result.(*Deployment), true
+}
+
+// chainOf reconstructs the linkage chain of a chain-shaped deployment
+// (consecutive edges only), treating a reused tail that still requires
+// an interface as an anchor terminal — the same reconstruction Verify
+// uses. ok=false for tree-shaped deployments.
+func (pl *Planner) chainOf(dep *Deployment) (Chain, bool) {
+	if dep == nil || len(dep.Placements) == 0 {
+		return nil, false
+	}
+	for i, e := range dep.Edges {
+		if e.From != i || e.To != i+1 {
+			return nil, false
+		}
+	}
+	chain := make(Chain, len(dep.Placements))
+	for i, p := range dep.Placements {
+		comp, ok := pl.Service.Component(p.Component)
+		if !ok {
+			return nil, false
+		}
+		chain[i] = chainElem{comp: comp}
+		if i == len(dep.Placements)-1 && p.Reused && len(comp.Requires) > 0 {
+			anchor := p
+			chain[i] = chainElem{comp: comp, anchor: &anchor}
+		}
+		if i > 0 {
+			prev := chain[i-1].comp
+			if len(prev.Requires) == 0 {
+				return nil, false
+			}
+			if _, ok := comp.ImplementsInterface(prev.Requires[0].Name); !ok {
+				return nil, false
+			}
+		}
+	}
+	return chain, true
+}

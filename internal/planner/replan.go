@@ -95,16 +95,28 @@ func (pl *Planner) stillValid(p Placement) bool {
 // old (which may be nil for a first deployment). The old deployment's
 // placements are assumed to be registered via AddExisting.
 func (pl *Planner) Replan(old *Deployment, req Request) (*Diff, error) {
-	diff := &Diff{Evicted: pl.RevalidateExisting()}
+	evicted := pl.RevalidateExisting()
 	plan := pl.Plan
-	if pl.PreferDP {
+	switch {
+	case pl.PreferSolver:
+		plan = pl.PlanSolver
+	case pl.PreferDP:
 		plan = pl.PlanDP
 	}
 	dep, err := plan(req)
 	if err != nil {
 		return nil, fmt.Errorf("planner: replan: %w", err)
 	}
-	diff.New = dep
+	diff := buildDiff(old, dep)
+	diff.Evicted = evicted
+	return diff, nil
+}
+
+// buildDiff computes the install/remove bookkeeping between an old
+// deployment and a freshly planned one (shared by Replan and
+// RepairReplan).
+func buildDiff(old, dep *Deployment) *Diff {
+	diff := &Diff{New: dep}
 	keep := map[string]bool{}
 	for _, p := range dep.Placements {
 		keep[p.Key()] = true
@@ -133,7 +145,7 @@ func (pl *Planner) Replan(old *Deployment, req Request) (*Diff, error) {
 			}
 		}
 	}
-	return diff, nil
+	return diff
 }
 
 // ReplanRewire runs Replan and, when the result is a no-op, checks

@@ -326,8 +326,18 @@ func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request
 
 	// offerOf computes the effective property set node i offers its
 	// parent over the given interface, recursing through its children.
-	var offerOf func(i int, iface string) (property.Set, bool)
-	offerOf = func(i int, iface string) (property.Set, bool) {
+	// Each node's offer is recorded so the deployment can register its
+	// placements as reusable anchors.
+	offersRec := make([]property.Set, len(flat))
+	var computeOffer func(i int, iface string) (property.Set, bool)
+	offerOf := func(i int, iface string) (property.Set, bool) {
+		s, ok := computeOffer(i, iface)
+		if ok {
+			offersRec[i] = s
+		}
+		return s, ok
+	}
+	computeOffer = func(i int, iface string) (property.Set, bool) {
 		tn := flat[i]
 		if tn.tree.anchor != nil {
 			return tn.tree.anchor.Offers.Clone(), true
@@ -450,6 +460,7 @@ func (pl *Planner) validateTree(flat []treeNode, places []Placement, req Request
 	dep := &TreeDeployment{ExpectedLatencyMS: flat[0].tree.comp.Behaviors.CPUMSPerRequest}
 	for i := range flat {
 		tp := TreePlacement{Placement: places[i], Parent: flat[i].parent, Path: paths[i]}
+		tp.Placement.Offers = offersRec[i].Clone()
 		dep.Placements = append(dep.Placements, tp)
 		if !places[i].Reused {
 			dep.NewComponents++

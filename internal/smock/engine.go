@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"partsvc/internal/netmodel"
@@ -39,14 +40,20 @@ type instanceInfo struct {
 	serveSecret []byte
 	instanceID  string
 	node        netmodel.NodeID
-	// upstreamAddr is the provider address this instance was wired to
-	// at install time ("" for terminals and adopted instances). A reuse
-	// whose planned provider resolves to a different address is stale
-	// and must be reinstalled; because deployments resolve tail-to-head,
-	// a replaced provider cascades fresh wiring toward the client. Data
-	// views recover their state from the coherence directory, so the
-	// replacement is state-preserving.
+	// upstreamAddr is the canonical provider wiring this instance was
+	// installed with ("" for terminals and adopted instances): the bare
+	// provider address for chain instances, the sorted iface=addr pairs
+	// for tree instances. A reuse whose planned provider wiring resolves
+	// differently is stale and must be reinstalled; because deployments
+	// resolve tail-to-head, a replaced provider cascades fresh wiring
+	// toward the client. Data views recover their state from the
+	// coherence directory, so the replacement is state-preserving.
 	upstreamAddr string
+	// upstreamAddrs lists the individual provider addresses wired at
+	// install time — the orphan-detection view of upstreamAddr (which is
+	// a composite ID for tree instances and so never matches a bare dead
+	// address).
+	upstreamAddrs []string
 }
 
 // NewEngine returns an engine over one transport.
@@ -124,7 +131,17 @@ func (e *Engine) OrphanedBy(dead []planner.Placement) []string {
 	for changed := true; changed; {
 		changed = false
 		for key, info := range e.instances {
-			if deadAddrs[info.addr] || info.upstreamAddr == "" || !deadAddrs[info.upstreamAddr] {
+			if deadAddrs[info.addr] {
+				continue
+			}
+			wiredToDead := false
+			for _, ua := range info.upstreamAddrs {
+				if deadAddrs[ua] {
+					wiredToDead = true
+					break
+				}
+			}
+			if !wiredToDead {
 				continue
 			}
 			deadAddrs[info.addr] = true
@@ -256,6 +273,9 @@ func (e *Engine) Execute(dep *planner.Deployment, svcRequires func(component str
 func (e *Engine) executeWith(dep *planner.Deployment, svcRequires func(component string) (iface string, ok bool), stateFor func(p planner.Placement) []byte) (string, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if !chainShaped(dep) {
+		return e.executeTree(dep, stateFor)
+	}
 	n := len(dep.Placements)
 	addrs := make([]string, n)
 	secrets := make([][]byte, n) // secrets[i] = secret of edge i -> i+1
@@ -317,6 +337,7 @@ func (e *Engine) executeWith(dep *planner.Deployment, svcRequires func(component
 			secrets[i-1] = serveSecret
 			order.ServeSecret = serveSecret
 		}
+		var upstreamAddrs []string
 		if i < n-1 {
 			iface, ok := svcRequires(p.Component)
 			if !ok {
@@ -324,6 +345,7 @@ func (e *Engine) executeWith(dep *planner.Deployment, svcRequires func(component
 			}
 			order.Upstreams[iface] = addrs[i+1]
 			order.UpstreamSecrets[iface] = secrets[i]
+			upstreamAddrs = []string{addrs[i+1]}
 		}
 		addr, err := w.Install(order)
 		if err != nil {
@@ -332,7 +354,127 @@ func (e *Engine) executeWith(dep *planner.Deployment, svcRequires func(component
 		addrs[i] = addr
 		e.instances[key] = instanceInfo{
 			addr: addr, serveSecret: serveSecret,
-			instanceID: order.InstanceID, node: p.Node, upstreamAddr: wantUpstream,
+			instanceID: order.InstanceID, node: p.Node,
+			upstreamAddr: wantUpstream, upstreamAddrs: upstreamAddrs,
+		}
+	}
+	return addrs[0], nil
+}
+
+// chainShaped reports whether a deployment's linkage graph is the
+// implicit chain (every placement's provider is the next placement).
+// Deployments without recorded edges predate edge recording and are
+// chains by construction; tree deployments carry explicit non-
+// consecutive edges.
+func chainShaped(dep *planner.Deployment) bool {
+	if len(dep.Edges) == 0 {
+		return true
+	}
+	if len(dep.Edges) != len(dep.Placements)-1 {
+		return false
+	}
+	for _, ed := range dep.Edges {
+		if ed.To != ed.From+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// treeUpstreamID canonicalizes a placement's provider wiring — the
+// sorted iface=addr pairs of its child edges — for the same staleness
+// check chains do with the single upstream address.
+func treeUpstreamID(edges []planner.Edge, addrs []string) string {
+	if len(edges) == 0 {
+		return ""
+	}
+	parts := make([]string, len(edges))
+	for k, ed := range edges {
+		parts[k] = ed.Iface + "=" + addrs[ed.To]
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// executeTree realizes a tree-shaped deployment (solver backend over a
+// multi-requirement service). Placements are flattened pre-order, so a
+// reverse index walk resolves every provider subtree before the client
+// that wires to it; each edge carries the interface name the client
+// requires, which keys the wrapper's upstream map. Callers hold e.mu.
+func (e *Engine) executeTree(dep *planner.Deployment, stateFor func(p planner.Placement) []byte) (string, error) {
+	n := len(dep.Placements)
+	children := make([][]planner.Edge, n)
+	for _, ed := range dep.Edges {
+		if ed.From < 0 || ed.From >= n || ed.To <= ed.From || ed.To >= n {
+			return "", fmt.Errorf("smock: tree deployment has invalid edge %d -> %d", ed.From, ed.To)
+		}
+		if ed.Iface == "" {
+			return "", fmt.Errorf("smock: tree edge %d -> %d has no interface name", ed.From, ed.To)
+		}
+		children[ed.From] = append(children[ed.From], ed)
+	}
+	addrs := make([]string, n)
+	secretOf := make([][]byte, n) // secretOf[i] = serve secret of placement i
+	for i := n - 1; i >= 0; i-- {
+		p := dep.Placements[i]
+		key := p.Key()
+		wantUpstream := treeUpstreamID(children[i], addrs)
+		if info, ok := e.instances[key]; ok {
+			adopted := info.instanceID == ""
+			// Leaves keep their own wiring; interior positions must match
+			// the planned providers' addresses exactly.
+			terminal := len(children[i]) == 0
+			if adopted || terminal || info.upstreamAddr == wantUpstream {
+				addrs[i] = info.addr
+				secretOf[i] = info.serveSecret
+				continue
+			}
+			delete(e.instances, key)
+			if w, ok := e.wrappers[info.node]; ok {
+				_ = w.Uninstall(info.instanceID)
+			}
+		} else if p.Reused {
+			return "", fmt.Errorf("smock: plan reuses unknown instance %s", key)
+		}
+		w, ok := e.wrappers[p.Node]
+		if !ok {
+			return "", fmt.Errorf("smock: no wrapper registered for node %s", p.Node)
+		}
+		e.counter++
+		order := InstallOrder{
+			Component:       p.Component,
+			InstanceID:      fmt.Sprintf("%s#%d", key, e.counter),
+			Config:          p.Config,
+			Upstreams:       map[string]string{},
+			UpstreamSecrets: map[string][]byte{},
+		}
+		if stateFor != nil {
+			order.State = stateFor(p)
+		}
+		var serveSecret []byte
+		if i > 0 {
+			serveSecret = make([]byte, 32)
+			if _, err := rand.Read(serveSecret); err != nil {
+				return "", fmt.Errorf("smock: edge secret: %w", err)
+			}
+			secretOf[i] = serveSecret
+			order.ServeSecret = serveSecret
+		}
+		var upstreamAddrs []string
+		for _, ed := range children[i] {
+			order.Upstreams[ed.Iface] = addrs[ed.To]
+			order.UpstreamSecrets[ed.Iface] = secretOf[ed.To]
+			upstreamAddrs = append(upstreamAddrs, addrs[ed.To])
+		}
+		addr, err := w.Install(order)
+		if err != nil {
+			return "", err
+		}
+		addrs[i] = addr
+		e.instances[key] = instanceInfo{
+			addr: addr, serveSecret: serveSecret,
+			instanceID: order.InstanceID, node: p.Node,
+			upstreamAddr: wantUpstream, upstreamAddrs: upstreamAddrs,
 		}
 	}
 	return addrs[0], nil

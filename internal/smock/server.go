@@ -43,7 +43,7 @@ func (g *GenericServer) Planner() *planner.Planner { return g.pl }
 func (g *GenericServer) Access(req planner.Request) (string, *planner.Deployment, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	dep, err := g.pl.Plan(req)
+	dep, err := g.pl.PlanVia(g.pl.Preferred(), req)
 	if err != nil {
 		return "", nil, err
 	}
@@ -62,7 +62,15 @@ func (g *GenericServer) Access(req planner.Request) (string, *planner.Deployment
 func (g *GenericServer) PlanOnly(req planner.Request) (*planner.Deployment, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.pl.Plan(req)
+	return g.pl.PlanVia(g.pl.Preferred(), req)
+}
+
+// PlanOnlyVia is PlanOnly through an explicitly selected planner
+// backend, for API callers that override the configured default.
+func (g *GenericServer) PlanOnlyVia(req planner.Request, b planner.Backend) (*planner.Deployment, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pl.PlanVia(b, req)
 }
 
 // Requires resolves a component's required interface name — the
@@ -100,6 +108,31 @@ func (g *GenericServer) Replan(old *planner.Deployment, req planner.Request) (*p
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	diff, err := g.pl.ReplanRewire(old, req)
+	if err != nil {
+		return nil, err
+	}
+	if orphans := g.engine.OrphanedBy(diff.Evicted); len(orphans) > 0 {
+		g.pl.DropExistingByKey(orphans...)
+		diff2, err := g.pl.Replan(old, req)
+		if err != nil {
+			return nil, err
+		}
+		diff2.Evicted = append(diff.Evicted, diff2.Evicted...)
+		return diff2, nil
+	}
+	return diff, nil
+}
+
+// RepairReplan is Replan through the solver backend's incremental
+// repair path: ch names the network elements a monitoring event
+// touched, so placements away from the change keep their assignments
+// and only invalidated domains are re-searched. Falls back to a full
+// replan (inside the planner) when repair is infeasible or the planner
+// is not solver-backed. Orphan handling mirrors Replan.
+func (g *GenericServer) RepairReplan(old *planner.Deployment, req planner.Request, ch *planner.ChangedSet) (*planner.Diff, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	diff, err := g.pl.RepairReplan(old, req, ch)
 	if err != nil {
 		return nil, err
 	}

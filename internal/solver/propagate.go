@@ -1,0 +1,70 @@
+package solver
+
+// propagate runs AC-3 over the tree's arcs: for every edge
+// (parent, child) both directed arcs are revised until a fixpoint.
+// Domains are pruned in place (order preserved — determinism rides on
+// it). Returns false when any domain empties, i.e. the model (or the
+// repair pinning) is infeasible. Every support test counts as one
+// Propagation in run.
+func propagate(m Model, doms [][]int, children [][]int, run *RunStats) bool {
+	type arc struct{ x, y int } // revise x's domain against neighbor y
+	var work []arc
+	for v := 1; v < m.Vars(); v++ {
+		p := m.Parent(v)
+		work = append(work, arc{v, p}, arc{p, v})
+	}
+	enqueue := func(x, y int) {
+		work = append(work, arc{x, y})
+	}
+	for len(work) > 0 {
+		a := work[0]
+		work = work[1:]
+		if !revise(m, doms, a.x, a.y, run) {
+			continue
+		}
+		if len(doms[a.x]) == 0 {
+			return false
+		}
+		// x's domain shrank: re-revise every other neighbor against x.
+		if p := m.Parent(a.x); p >= 0 && p != a.y {
+			enqueue(p, a.x)
+		}
+		for _, c := range children[a.x] {
+			if c != a.y {
+				enqueue(c, a.x)
+			}
+		}
+	}
+	return true
+}
+
+// revise drops values of x with no support in y, returning whether the
+// domain changed. x and y are parent and child of one tree edge (in
+// either order); the constraint is always Compatible(child, pv, cv).
+func revise(m Model, doms [][]int, x, y int, run *RunStats) bool {
+	childVar := x
+	if m.Parent(y) == x {
+		childVar = y
+	}
+	kept := doms[x][:0]
+	for _, xv := range doms[x] {
+		supported := false
+		for _, yv := range doms[y] {
+			run.Propagations++
+			pv, cv := xv, yv
+			if childVar == x {
+				pv, cv = yv, xv
+			}
+			if m.Compatible(childVar, pv, cv) {
+				supported = true
+				break
+			}
+		}
+		if supported {
+			kept = append(kept, xv)
+		}
+	}
+	changed := len(kept) != len(doms[x])
+	doms[x] = kept
+	return changed
+}

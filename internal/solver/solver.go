@@ -1,0 +1,328 @@
+// Package solver is a constraint-solving planner core: placement as a
+// constraint-satisfaction/optimization problem over tree-structured
+// variable graphs, in the style of the constraint-based deployment work
+// the paper's bibliography points at (McCarthy/Dearle/Kirby). The
+// engine is deliberately generic — variables, integer domains, a binary
+// compatibility relation along tree edges, an admissible additive cost
+// bound, and an exact evaluator — so the planner adapter in
+// internal/planner owns every domain-specific rule (properties, trust,
+// bandwidth, routing) while this package owns search mechanics:
+//
+//   - AC-3 style constraint propagation prunes domains before search;
+//     every support test is counted as one Propagation, the engine's
+//     unit of work;
+//   - branch-and-bound DFS with an incrementally maintained frontier
+//     bound (per-subtree DP relaxations computed bottom-up) prunes
+//     assignments that cannot beat the incumbent;
+//   - Repair re-solves with every clean variable pinned to its previous
+//     value, so a local change re-propagates only the invalidated
+//     domains — O(affected) work instead of O(topology) — and reports
+//     infeasibility so the caller can fall back to a fresh solve.
+package solver
+
+import "math"
+
+// Model is a tree-structured constraint optimization problem. Variables
+// are indexed 0..Vars()-1 in pre-order: Parent(0) == -1 and
+// Parent(v) < v for every other v, so assigning variables in index
+// order always assigns a parent before its children. Values are indices
+// into each variable's private candidate list (the adapter owns the
+// actual candidates).
+type Model interface {
+	// Vars returns the variable count.
+	Vars() int
+	// Parent returns v's parent variable (-1 for the root).
+	Parent(v int) int
+	// DomainSize returns the number of candidate values of v.
+	DomainSize(v int) int
+	// Compatible reports whether child value cv of variable v is
+	// compatible with parent value pv across the edge (Parent(v), v).
+	// It must be sound: false only when no complete assignment
+	// extending (pv, cv) can be valid. Never called for the root.
+	Compatible(v, pv, cv int) bool
+	// Bounded reports whether EdgeBound yields admissible additive
+	// bounds for the primary objective. When false the engine skips
+	// bound pruning and enumerates every propagation-surviving
+	// assignment (exact evaluation still decides).
+	Bounded() bool
+	// EdgeBound returns an admissible (never over-estimating) lower
+	// bound on the primary-cost contribution of assigning value cv to v
+	// under parent value pv. For the root, pv is -1 and the bound
+	// covers the root variable's own contribution.
+	EdgeBound(v, pv, cv int) float64
+	// Evaluate checks a complete assignment exactly (constraints the
+	// binary relation cannot express live here) and returns an opaque
+	// result plus its primary cost. ok=false rejects the assignment.
+	Evaluate(assign []int) (result any, primary float64, ok bool)
+	// Better reports whether evaluated result a should replace b,
+	// providing the full deterministic tie-break order.
+	Better(a, b any) bool
+}
+
+// Solution is a complete, evaluated assignment.
+type Solution struct {
+	// Assign maps each variable to the index of its chosen value.
+	Assign []int
+	// Result is the model's Evaluate output for Assign.
+	Result any
+	// Primary is the primary objective value of Result.
+	Primary float64
+}
+
+// RunStats are the work counters of one Solve/Repair call.
+type RunStats struct {
+	// Propagations counts binary support tests (Compatible calls) —
+	// the engine's unit of work, across AC-3 and bound maintenance.
+	Propagations uint64
+	// Backtracks counts abandoned partial assignments (bound prunes,
+	// dead values, rejected evaluations).
+	Backtracks uint64
+	// Evaluations counts exact whole-assignment evaluations.
+	Evaluations uint64
+}
+
+const eps = 1e-9
+
+// Solver runs searches and accumulates counters into Stats (when set).
+// A Solver is not safe for concurrent use; share the Stats instead.
+type Solver struct {
+	Stats *Stats
+	// UpperBound, when non-nil, is an externally known upper bound on
+	// the primary cost (e.g. the best solution of a sibling model when a
+	// caller solves several models for the same request). Assignments
+	// whose admissible bound exceeds it are pruned even before this
+	// model finds its own incumbent; assignments within eps of it
+	// survive to the exact tie-break, so seeding never changes which
+	// solution wins — only how much of the space is searched.
+	UpperBound *float64
+}
+
+// Solve finds the best complete assignment of m, or ok=false when the
+// model is infeasible.
+func (s *Solver) Solve(m Model) (Solution, RunStats, bool) {
+	doms := fullDomains(m)
+	sol, run, ok := s.search(m, doms)
+	if s.Stats != nil {
+		s.Stats.Solves.Add(1)
+		s.Stats.addRun(run)
+	}
+	return sol, run, ok
+}
+
+// Repair re-solves m keeping every clean variable pinned to its
+// previous value: dirty[v] selects the variables whose domains are
+// re-opened, prev[v] supplies the pinned value index for clean ones.
+// ok=false means repair is infeasible under the pins (empty domain
+// after propagation, or no valid complete assignment) and the caller
+// should fall back to a fresh solve.
+func (s *Solver) Repair(m Model, prev []int, dirty []bool) (Solution, RunStats, bool) {
+	doms := make([][]int, m.Vars())
+	for v := range doms {
+		if dirty[v] {
+			doms[v] = identity(m.DomainSize(v))
+		} else {
+			doms[v] = []int{prev[v]}
+		}
+	}
+	sol, run, ok := s.search(m, doms)
+	if s.Stats != nil {
+		s.Stats.Repairs.Add(1)
+		if !ok {
+			s.Stats.RepairFallbacks.Add(1)
+		}
+		s.Stats.addRun(run)
+	}
+	return sol, run, ok
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func fullDomains(m Model) [][]int {
+	doms := make([][]int, m.Vars())
+	for v := range doms {
+		doms[v] = identity(m.DomainSize(v))
+	}
+	return doms
+}
+
+// search propagates, computes subtree bounds, and runs branch-and-bound
+// DFS in variable order.
+func (s *Solver) search(m Model, doms [][]int) (Solution, RunStats, bool) {
+	var run RunStats
+	n := m.Vars()
+	if n == 0 {
+		return Solution{}, run, false
+	}
+	children := childLists(m)
+	if !propagate(m, doms, children, &run) {
+		return Solution{}, run, false
+	}
+
+	bounded := m.Bounded()
+	var minComp [][]float64
+	if bounded {
+		minComp = subtreeBounds(m, doms, children, &run)
+	}
+
+	// hmin returns the least bound of v's subtree given parent value pv
+	// (-1 for the root): min over v's surviving domain of edge bound
+	// plus subtree completion. +Inf when no value is compatible.
+	hmin := func(v, pv int) float64 {
+		best := math.Inf(1)
+		for di, cv := range doms[v] {
+			if pv >= 0 {
+				run.Propagations++
+				if !m.Compatible(v, pv, cv) {
+					continue
+				}
+			}
+			if b := m.EdgeBound(v, pv, cv) + minComp[v][di]; b < best {
+				best = b
+			}
+		}
+		return best
+	}
+
+	assign := make([]int, n)
+	var best *Solution
+	limit := math.Inf(1)
+	if s.UpperBound != nil {
+		limit = *s.UpperBound
+	}
+	// g is the accumulated edge-bound cost of assigned variables; h the
+	// frontier sum: for every unassigned variable whose parent is
+	// assigned, the least completion of its whole subtree. contrib[v]
+	// remembers v's frontier term so assigning v can replace it with
+	// its own children's terms.
+	contrib := make([]float64, n)
+	var g, h float64
+	if bounded {
+		contrib[0] = hmin(0, -1)
+		h = contrib[0]
+	}
+
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if v == n {
+			run.Evaluations++
+			result, primary, ok := m.Evaluate(assign)
+			if !ok {
+				run.Backtracks++
+				return false
+			}
+			if best == nil || m.Better(result, best.Result) {
+				best = &Solution{Assign: append([]int(nil), assign...), Result: result, Primary: primary}
+			}
+			return true
+		}
+		pv := -1
+		if p := m.Parent(v); p >= 0 {
+			pv = assign[p]
+		}
+		found := false
+		for _, cv := range doms[v] {
+			if pv >= 0 {
+				run.Propagations++
+				if !m.Compatible(v, pv, cv) {
+					continue
+				}
+			}
+			var g0, h0 float64
+			if bounded {
+				g0, h0 = g, h
+				ng := g + m.EdgeBound(v, pv, cv)
+				nh := h - contrib[v]
+				dead := false
+				for _, c := range children[v] {
+					contrib[c] = hmin(c, cv)
+					if math.IsInf(contrib[c], 1) {
+						dead = true
+						break
+					}
+					nh += contrib[c]
+				}
+				if dead {
+					run.Backtracks++
+					continue
+				}
+				// Strict-inequality pruning: assignments whose bound ties
+				// the incumbent's (or the seeded) primary survive to the
+				// exact tie-break.
+				lim := limit
+				if best != nil && best.Primary < lim {
+					lim = best.Primary
+				}
+				if ng+nh > lim+eps {
+					run.Backtracks++
+					continue
+				}
+				g, h = ng, nh
+			}
+			assign[v] = cv
+			if dfs(v + 1) {
+				found = true
+			} else {
+				run.Backtracks++
+			}
+			if bounded {
+				g, h = g0, h0
+			}
+		}
+		return found
+	}
+	dfs(0)
+	if best == nil {
+		return Solution{}, run, false
+	}
+	return *best, run, true
+}
+
+// childLists inverts Parent into per-variable child index lists.
+func childLists(m Model) [][]int {
+	children := make([][]int, m.Vars())
+	for v := 1; v < m.Vars(); v++ {
+		p := m.Parent(v)
+		children[p] = append(children[p], v)
+	}
+	return children
+}
+
+// subtreeBounds computes, bottom-up over the pruned domains, the DP
+// relaxation minComp[v][di]: a lower bound on the cost of completing
+// v's strict subtree when v takes its di-th surviving value. +Inf marks
+// values with no compatible child completion (dead values — kept in the
+// domain, the DFS skips them via the frontier bound).
+func subtreeBounds(m Model, doms [][]int, children [][]int, run *RunStats) [][]float64 {
+	n := m.Vars()
+	minComp := make([][]float64, n)
+	for v := n - 1; v >= 0; v-- {
+		minComp[v] = make([]float64, len(doms[v]))
+		for di, pv := range doms[v] {
+			total := 0.0
+			for _, c := range children[v] {
+				best := math.Inf(1)
+				for ci, cv := range doms[c] {
+					run.Propagations++
+					if !m.Compatible(c, pv, cv) {
+						continue
+					}
+					if b := m.EdgeBound(c, pv, cv) + minComp[c][ci]; b < best {
+						best = b
+					}
+				}
+				total += best
+				if math.IsInf(total, 1) {
+					break
+				}
+			}
+			minComp[v][di] = total
+		}
+	}
+	return minComp
+}
